@@ -1,0 +1,108 @@
+// Experiment E13 (ablation): what each of PCP-DA's two guards buys.
+//   * T*-WriteSet guard off (the naive "condition (2)" of Example 5):
+//     deadlocks appear.
+//   * Table-1 starred condition (wr-guard) off: non-serializable
+//     histories and broken commit-order guarantees appear.
+// Random workloads, counts aggregated per configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/pcp_da.h"
+#include "core/serialization_order.h"
+#include "history/serialization_graph.h"
+#include "workload/generator.h"
+
+namespace pcpda {
+namespace {
+
+constexpr int kRuns = 60;
+constexpr Tick kHorizon = 2500;
+
+struct AblationStats {
+  int deadlock_runs = 0;
+  int non_serializable_runs = 0;
+  int commit_order_violation_runs = 0;
+  long long restarts = 0;
+};
+
+AblationStats Measure(const PcpDaOptions& options) {
+  AblationStats stats;
+  for (int trial = 0; trial < kRuns; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(trial) * 2654435761ULL + 99);
+    WorkloadParams params;
+    params.num_transactions = 8;
+    params.num_items = 8;  // high contention to stress the guards
+    params.total_utilization = 0.7;
+    params.write_fraction = 0.45;
+    auto set = GenerateWorkload(params, rng);
+    if (!set.ok()) continue;
+    PcpDa protocol(options);
+    SimulatorOptions sim_options;
+    sim_options.horizon = kHorizon;
+    sim_options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+    Simulator sim(&*set, &protocol, sim_options);
+    const SimResult result = sim.Run();
+    if (result.deadlock_detected) ++stats.deadlock_runs;
+    if (!IsSerializable(result.history)) ++stats.non_serializable_runs;
+    if (!FindCommitOrderViolations(result.history).empty()) {
+      ++stats.commit_order_violation_runs;
+    }
+    stats.restarts += result.metrics.TotalRestarts();
+  }
+  return stats;
+}
+
+void PrintAblation() {
+  PrintHeader(
+      "PCP-DA guard ablation (60 high-contention random sets per row; "
+      "deadlocks resolved by aborting)");
+  std::printf("%-26s %-10s %-10s %-12s %-9s\n", "configuration",
+              "deadlocks", "nonserial", "commitviol", "restarts");
+  struct Row {
+    const char* name;
+    PcpDaOptions options;
+  };
+  const Row rows[] = {
+      {"full PCP-DA", {}},
+      {"no T*-guard (cond. (2))", {.enable_tstar_guard = false}},
+      {"no wr-guard (Table 1*)", {.enable_wr_guard = false}},
+      {"neither guard",
+       {.enable_tstar_guard = false, .enable_wr_guard = false}},
+  };
+  for (const Row& row : rows) {
+    const AblationStats stats = Measure(row.options);
+    std::printf("%-26s %-10d %-10d %-12d %-9lld\n", row.name,
+                stats.deadlock_runs, stats.non_serializable_runs,
+                stats.commit_order_violation_runs, stats.restarts);
+  }
+  std::printf(
+      "\nexpected shape: full PCP-DA shows zeros everywhere; dropping the "
+      "T*-guard admits the Example-5 deadlock on real workloads. Dropping "
+      "ONLY the Table-1 starred condition stays clean here — exactly the "
+      "paper's Section-5 remark that LC2/LC3 make the check redundant "
+      "(the ceilings deny those reads first); once the T*-guard is ALSO "
+      "gone, the unprotected reads slip through and non-serializable "
+      "histories plus Lemma-9 violations appear.\n");
+}
+
+void BM_AblationPoint(benchmark::State& state) {
+  PcpDaOptions options;
+  options.enable_tstar_guard = state.range(0) != 0;
+  for (auto _ : state) {
+    const AblationStats stats = Measure(options);
+    benchmark::DoNotOptimize(stats.deadlock_runs);
+  }
+}
+BENCHMARK(BM_AblationPoint)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pcpda
+
+int main(int argc, char** argv) {
+  pcpda::PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Engine performance benchmarks (not a paper artifact): simulator
+// throughput in ticks/second across protocols and workload sizes, lock
+// table and analysis micro-benchmarks. Useful for keeping the simulator
+// fast enough for large sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/blocking.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "db/lock_table.h"
+#include "history/serialization_graph.h"
+#include "workload/generator.h"
+
+namespace pcpda {
+namespace {
+
+TransactionSet SizedWorkload(int txns, int items, double utilization) {
+  Rng rng(99);
+  WorkloadParams params;
+  params.num_transactions = txns;
+  params.num_items = items;
+  params.total_utilization = utilization;
+  auto set = GenerateWorkload(params, rng);
+  return std::move(set).value();
+}
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const TransactionSet set = SizedWorkload(
+      static_cast<int>(state.range(1)), 3 * static_cast<int>(state.range(1)),
+      0.7);
+  const auto kind = static_cast<ProtocolKind>(state.range(0));
+  constexpr Tick kHorizon = 5000;
+  for (auto _ : state) {
+    auto protocol = MakeProtocol(kind);
+    SimulatorOptions options;
+    options.horizon = kHorizon;
+    options.record_trace = false;
+    options.record_history = false;
+    options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+    Simulator sim(&set, protocol.get(), options);
+    SimResult result = sim.Run();
+    benchmark::DoNotOptimize(result.metrics.TotalCommitted());
+  }
+  state.SetItemsProcessed(state.iterations() * kHorizon);
+}
+BENCHMARK(BM_SimulatorThroughput)
+    ->Args({static_cast<int>(ProtocolKind::kPcpDa), 8})
+    ->Args({static_cast<int>(ProtocolKind::kPcpDa), 24})
+    ->Args({static_cast<int>(ProtocolKind::kRwPcp), 8})
+    ->Args({static_cast<int>(ProtocolKind::kRwPcp), 24})
+    ->Args({static_cast<int>(ProtocolKind::kTwoPlHp), 8});
+
+void BM_TraceRecordingOverhead(benchmark::State& state) {
+  const TransactionSet set = SizedWorkload(8, 24, 0.7);
+  const bool record = state.range(0) != 0;
+  for (auto _ : state) {
+    auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+    SimulatorOptions options;
+    options.horizon = 2000;
+    options.record_trace = record;
+    options.record_history = record;
+    Simulator sim(&set, protocol.get(), options);
+    SimResult result = sim.Run();
+    benchmark::DoNotOptimize(result.metrics.TotalCommitted());
+  }
+}
+BENCHMARK(BM_TraceRecordingOverhead)->Arg(0)->Arg(1);
+
+void BM_LockTableOps(benchmark::State& state) {
+  LockTable locks(64);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const JobId job = i % 16;
+    const ItemId item = static_cast<ItemId>(i % 64);
+    locks.AcquireRead(job, item);
+    benchmark::DoNotOptimize(locks.readers(item).size());
+    locks.ReleaseAll(job);
+    ++i;
+  }
+}
+BENCHMARK(BM_LockTableOps);
+
+void BM_SerializabilityCheck(benchmark::State& state) {
+  const TransactionSet set = SizedWorkload(8, 24, 0.7);
+  auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+  SimulatorOptions options;
+  options.horizon = 2000;
+  Simulator sim(&set, protocol.get(), options);
+  const SimResult result = sim.Run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSerializable(result.history));
+  }
+}
+BENCHMARK(BM_SerializabilityCheck);
+
+}  // namespace
+}  // namespace pcpda
+
+BENCHMARK_MAIN();

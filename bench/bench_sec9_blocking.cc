@@ -1,0 +1,113 @@
+// Experiment E7 — Section 9 of the paper: worst-case blocking terms B_i
+// and blocking transaction sets BTS_i under PCP-DA vs RW-PCP (and CCP,
+// PCP), plus the Liu–Layland schedulability condition with blocking and
+// the exact response-time analysis, on the paper's Example 4 set (made
+// periodic) and on random workloads.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/blocking.h"
+#include "analysis/report.h"
+#include "analysis/response_time.h"
+#include "analysis/rm_bound.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "workload/generator.h"
+
+namespace pcpda {
+namespace {
+
+TransactionSet PeriodicExample4() {
+  // Example 4's access sets with rate-monotonic periods so the Section-9
+  // tests apply (C_i preserved: 2, 2, 2, 5).
+  TransactionSpec t1{.name = "T1",
+                     .period = 20,
+                     .body = {Read(kItemX), Compute(1)}};
+  TransactionSpec t2{.name = "T2",
+                     .period = 30,
+                     .body = {Write(kItemY), Compute(1)}};
+  TransactionSpec t3{.name = "T3",
+                     .period = 40,
+                     .body = {Read(kItemZ), Write(kItemZ)}};
+  TransactionSpec t4{.name = "T4",
+                     .period = 60,
+                     .body = {Read(kItemY), Write(kItemX), Compute(3)}};
+  auto set = TransactionSet::Create({t1, t2, t3, t4},
+                                    PriorityAssignment::kRateMonotonic);
+  return std::move(set).value();
+}
+
+void PrintSection9() {
+  const TransactionSet example = PeriodicExample4();
+  PrintHeader("Section 9: worst-case blocking on Example 4 (periodic)");
+  std::printf("%s\n", BlockingComparisonTable(example).c_str());
+  std::printf(
+      "\npaper: BTS_i under PCP-DA is a subset of RW-PCP's; here T1's "
+      "B drops from 5 (T4 writes x with Aceil=P1) to 0 because writes "
+      "are preemptable.\n");
+
+  for (ProtocolKind kind :
+       {ProtocolKind::kPcpDa, ProtocolKind::kRwPcp}) {
+    const BlockingAnalysis analysis = ComputeBlocking(example, kind);
+    std::printf("\n%s\n", analysis.DebugString(example).c_str());
+    const auto ll = LiuLaylandTest(example, analysis.AllB());
+    std::printf("%s\n", ll.ok() ? ll->DebugString(example).c_str()
+                                : ll.status().ToString().c_str());
+  }
+
+  PrintHeader("Full schedulability report (Example 4 periodic)");
+  std::printf("%s\n", SchedulabilityReport(example).c_str());
+
+  PrintHeader("Random workloads: mean B_i by protocol");
+  std::printf("%-6s %-10s %-10s %-10s %-10s\n", "U", "PCP-DA", "RW-PCP",
+              "CCP", "PCP");
+  for (double u : {0.3, 0.5, 0.7}) {
+    double sums[4] = {0, 0, 0, 0};
+    int count = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      Rng rng(seed);
+      WorkloadParams params;
+      params.total_utilization = u;
+      auto set = GenerateWorkload(params, rng);
+      if (!set.ok()) continue;
+      const ProtocolKind kinds[4] = {
+          ProtocolKind::kPcpDa, ProtocolKind::kRwPcp, ProtocolKind::kCcp,
+          ProtocolKind::kOpcp};
+      for (int k = 0; k < 4; ++k) {
+        const BlockingAnalysis analysis = ComputeBlocking(*set, kinds[k]);
+        for (Tick b : analysis.AllB()) {
+          sums[k] += static_cast<double>(b);
+        }
+      }
+      count += set->size();
+    }
+    std::printf("%-6.2f %-10.2f %-10.2f %-10.2f %-10.2f\n", u,
+                sums[0] / count, sums[1] / count, sums[2] / count,
+                sums[3] / count);
+  }
+  std::printf(
+      "\nexpected shape: B(PCP-DA) <= B(CCP) ~ B(RW-PCP) <= B(PCP).\n");
+}
+
+void BM_BlockingAnalysis(benchmark::State& state) {
+  Rng rng(7);
+  WorkloadParams params;
+  params.num_transactions = static_cast<int>(state.range(0));
+  auto set = GenerateWorkload(params, rng);
+  for (auto _ : state) {
+    const BlockingAnalysis analysis =
+        ComputeBlocking(*set, ProtocolKind::kPcpDa);
+    benchmark::DoNotOptimize(analysis.per_spec.size());
+  }
+}
+BENCHMARK(BM_BlockingAnalysis)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace pcpda
+
+int main(int argc, char** argv) {
+  pcpda::PrintSection9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,46 @@
+#ifndef PCPDA_BENCH_BENCH_UTIL_H_
+#define PCPDA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "protocols/factory.h"
+#include "sched/simulator.h"
+#include "trace/gantt.h"
+#include "txn/spec.h"
+#include "workload/paper_examples.h"
+
+namespace pcpda {
+
+/// Runs `set` under a fresh protocol of `kind`.
+inline SimResult BenchRun(const TransactionSet& set, ProtocolKind kind,
+                          Tick horizon,
+                          DeadlockPolicy deadlock_policy =
+                              DeadlockPolicy::kHalt,
+                          bool record = true) {
+  auto protocol = MakeProtocol(kind);
+  SimulatorOptions options;
+  options.horizon = horizon;
+  options.deadlock_policy = deadlock_policy;
+  options.record_trace = record;
+  options.record_history = record;
+  Simulator sim(&set, protocol.get(), options);
+  return sim.Run();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRun(const std::string& title, const TransactionSet& set,
+                     const SimResult& result) {
+  PrintHeader(title);
+  std::printf("%s\n\n%s\n", RenderGantt(set, result.trace).c_str(),
+              result.metrics.DebugString(set).c_str());
+}
+
+}  // namespace pcpda
+
+#endif  // PCPDA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,174 @@
+#include "analysis/blocking.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pcpda {
+
+std::vector<Tick> BlockingAnalysis::AllB() const {
+  std::vector<Tick> b;
+  b.reserve(per_spec.size());
+  for (const SpecBlocking& sb : per_spec) b.push_back(sb.worst_blocking);
+  return b;
+}
+
+std::string BlockingAnalysis::DebugString(const TransactionSet& set) const {
+  std::vector<std::string> lines;
+  lines.push_back(StrFormat("blocking analysis under %s:",
+                            pcpda::ToString(protocol)));
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const SpecBlocking& sb = per_spec[static_cast<std::size_t>(i)];
+    std::vector<std::string> names;
+    names.reserve(sb.bts.size());
+    for (SpecId l : sb.bts) names.push_back(set.spec(l).name);
+    lines.push_back(StrFormat("  %s: B=%lld BTS={%s}",
+                              set.spec(i).name.c_str(),
+                              static_cast<long long>(sb.worst_blocking),
+                              Join(names, ",").c_str()));
+  }
+  return Join(lines, "\n");
+}
+
+namespace {
+
+/// The ceiling an item raises while `spec` holds it (its highest-mode
+/// contribution over the body).
+Priority ItemContribution(const TransactionSpec& spec,
+                          const StaticCeilings& ceilings, ItemId item) {
+  if (spec.WriteSet().contains(item)) return ceilings.Aceil(item);
+  return ceilings.Wceil(item);
+}
+
+}  // namespace
+
+Tick CcpHoldingWindow(const TransactionSpec& spec,
+                      const StaticCeilings& ceilings, Priority level) {
+  const auto& body = spec.body;
+  // Step start/end offsets within the body.
+  std::vector<Tick> start(body.size()), end(body.size());
+  Tick offset = 0;
+  for (std::size_t k = 0; k < body.size(); ++k) {
+    start[k] = offset;
+    offset += body[k].duration;
+    end[k] = offset;
+  }
+  const Tick total = offset;
+
+  // First-access step per item.
+  std::map<ItemId, std::size_t> first_access;
+  for (std::size_t k = 0; k < body.size(); ++k) {
+    if (body[k].kind == StepKind::kCompute) continue;
+    first_access.try_emplace(body[k].item, k);
+  }
+
+  // The end of the growing phase: the step performing the body's last NEW
+  // lock acquisition (first access of an item, or a read->write upgrade).
+  // CCP releases nothing before that point (see Ccp::EarlyReleases).
+  std::size_t last_acquisition = 0;
+  std::set<ItemId> written;
+  std::set<ItemId> seen;
+  for (std::size_t k = 0; k < body.size(); ++k) {
+    if (body[k].kind == StepKind::kCompute) continue;
+    const bool new_item = seen.insert(body[k].item).second;
+    const bool upgrade = body[k].kind == StepKind::kWrite &&
+                         written.insert(body[k].item).second;
+    if (new_item || upgrade) last_acquisition = k;
+  }
+  const Tick shrink_start = end[last_acquisition];
+
+  Tick window_start = total;
+  Tick window_end = 0;
+  bool any = false;
+  for (const auto& [item, first_k] : first_access) {
+    const Priority contribution = ItemContribution(spec, ceilings, item);
+    if (contribution < level) continue;
+    // Released right after the later of (its own last use, the end of the
+    // growing phase).
+    std::size_t last_access = first_k;
+    for (std::size_t k = first_k; k < body.size(); ++k) {
+      if (body[k].kind != StepKind::kCompute && body[k].item == item) {
+        last_access = k;
+      }
+    }
+    const Tick release = std::max(end[last_access], shrink_start);
+    any = true;
+    window_start = std::min(window_start, start[first_k]);
+    window_end = std::max(window_end, release);
+  }
+  return any ? window_end - window_start : 0;
+}
+
+BlockingAnalysis ComputeBlocking(const TransactionSet& set,
+                                 ProtocolKind protocol) {
+  PCPDA_CHECK_MSG(protocol == ProtocolKind::kPcpDa ||
+                      protocol == ProtocolKind::kRwPcp ||
+                      protocol == ProtocolKind::kCcp ||
+                      protocol == ProtocolKind::kOpcp,
+                  "no Section-9 analysis for 2PL protocols");
+  const StaticCeilings ceilings(set);
+  BlockingAnalysis analysis;
+  analysis.protocol = protocol;
+  analysis.per_spec.resize(static_cast<std::size_t>(set.size()));
+
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const Priority p_i = set.priority(i);
+    SpecBlocking& sb = analysis.per_spec[static_cast<std::size_t>(i)];
+    for (SpecId l = i + 1; l < set.size(); ++l) {
+      const TransactionSpec& lower = set.spec(l);
+      bool blocks = false;
+      switch (protocol) {
+        case ProtocolKind::kPcpDa: {
+          for (ItemId x : lower.ReadSet()) {
+            if (ceilings.Wceil(x) >= p_i) {
+              blocks = true;
+              break;
+            }
+          }
+          break;
+        }
+        case ProtocolKind::kRwPcp:
+        case ProtocolKind::kCcp: {
+          for (ItemId x : lower.ReadSet()) {
+            if (ceilings.Wceil(x) >= p_i) {
+              blocks = true;
+              break;
+            }
+          }
+          if (!blocks) {
+            for (ItemId x : lower.WriteSet()) {
+              if (ceilings.Aceil(x) >= p_i) {
+                blocks = true;
+                break;
+              }
+            }
+          }
+          break;
+        }
+        case ProtocolKind::kOpcp: {
+          for (ItemId x : lower.AccessSet()) {
+            if (ceilings.Aceil(x) >= p_i) {
+              blocks = true;
+              break;
+            }
+          }
+          break;
+        }
+        default:
+          PCPDA_UNREACHABLE("filtered above");
+      }
+      if (!blocks) continue;
+      sb.bts.push_back(l);
+      const Tick contribution = protocol == ProtocolKind::kCcp
+                                    ? CcpHoldingWindow(lower, ceilings, p_i)
+                                    : lower.ExecutionTime();
+      sb.worst_blocking = std::max(sb.worst_blocking, contribution);
+    }
+  }
+  return analysis;
+}
+
+}  // namespace pcpda

@@ -1,0 +1,56 @@
+#ifndef PCPDA_ANALYSIS_BLOCKING_H_
+#define PCPDA_ANALYSIS_BLOCKING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "db/ceilings.h"
+#include "protocols/factory.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// The Section-9 worst-case blocking analysis for one transaction.
+struct SpecBlocking {
+  /// BTS_i: the specs (all of lower priority) that may block T_i.
+  std::vector<SpecId> bts;
+  /// B_i: the worst-case blocking time.
+  Tick worst_blocking = 0;
+};
+
+/// The analysis for a whole set under one protocol.
+struct BlockingAnalysis {
+  ProtocolKind protocol = ProtocolKind::kPcpDa;
+  std::vector<SpecBlocking> per_spec;
+
+  Tick B(SpecId spec) const {
+    return per_spec[static_cast<std::size_t>(spec)].worst_blocking;
+  }
+  std::vector<Tick> AllB() const;
+  std::string DebugString(const TransactionSet& set) const;
+};
+
+/// Computes BTS_i and B_i for every spec under `protocol` (Section 9):
+///
+///   PCP-DA:  BTS_i = { T_L | P_L < P_i, T_L reads some x with
+///                      Wceil(x) >= P_i };  B_i = max C_L.
+///   RW-PCP:  additionally T_L with a write of x where Aceil(x) >= P_i.
+///   PCP:     T_L accessing any x with Aceil(x) >= P_i.
+///   CCP:     BTS as RW-PCP, but B_i uses the convex holding window of the
+///            offending items instead of the full C_L (early unlocking).
+///
+/// Only the four ceiling protocols are analyzable; 2PL-PI has unbounded
+/// chained blocking and 2PL-HP unbounded restarts.
+BlockingAnalysis ComputeBlocking(const TransactionSet& set,
+                                 ProtocolKind protocol);
+
+/// The window (in ticks of T_L's own execution) during which T_L may hold
+/// a lock whose runtime ceiling is >= `level`, under CCP early release.
+/// Used for CCP's B_i; exposed for tests.
+Tick CcpHoldingWindow(const TransactionSpec& spec,
+                      const StaticCeilings& ceilings, Priority level);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_ANALYSIS_BLOCKING_H_

@@ -1,0 +1,73 @@
+#include "analysis/report.h"
+
+#include <vector>
+
+#include "analysis/blocking.h"
+#include "analysis/response_time.h"
+#include "analysis/rm_bound.h"
+#include "common/strings.h"
+#include "protocols/factory.h"
+
+namespace pcpda {
+
+std::string BlockingComparisonTable(const TransactionSet& set) {
+  const auto kinds = AnalyzableProtocolKinds();
+  std::vector<BlockingAnalysis> analyses;
+  analyses.reserve(kinds.size());
+  for (ProtocolKind kind : kinds) {
+    analyses.push_back(ComputeBlocking(set, kind));
+  }
+
+  std::vector<std::string> lines;
+  std::string header = PadRight("txn", 8) + PadRight("C_i", 8) +
+                       PadRight("Pd_i", 8);
+  for (ProtocolKind kind : kinds) {
+    header += PadRight(StrFormat("B(%s)", ToString(kind)), 12);
+  }
+  lines.push_back(header);
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const TransactionSpec& spec = set.spec(i);
+    std::string row =
+        PadRight(spec.name, 8) +
+        PadRight(StrFormat("%lld",
+                           static_cast<long long>(spec.ExecutionTime())),
+                 8) +
+        PadRight(spec.period > 0
+                     ? StrFormat("%lld", static_cast<long long>(spec.period))
+                     : std::string("-"),
+                 8);
+    for (const BlockingAnalysis& analysis : analyses) {
+      row += PadRight(
+          StrFormat("%lld", static_cast<long long>(analysis.B(i))), 12);
+    }
+    lines.push_back(row);
+  }
+  return Join(lines, "\n");
+}
+
+std::string SchedulabilityReport(const TransactionSet& set) {
+  std::vector<std::string> sections;
+  sections.push_back("== worst-case blocking (Section 9) ==");
+  sections.push_back(BlockingComparisonTable(set));
+  for (ProtocolKind kind : AnalyzableProtocolKinds()) {
+    const BlockingAnalysis blocking = ComputeBlocking(set, kind);
+    sections.push_back(
+        StrFormat("== %s: Liu-Layland sufficient test ==", ToString(kind)));
+    const auto ll = LiuLaylandTest(set, blocking.AllB());
+    sections.push_back(ll.ok() ? ll.value().DebugString(set)
+                               : ll.status().ToString());
+    sections.push_back(
+        StrFormat("== %s: hyperbolic bound ==", ToString(kind)));
+    const auto hb = HyperbolicTest(set, blocking.AllB());
+    sections.push_back(hb.ok() ? hb.value().DebugString(set)
+                               : hb.status().ToString());
+    sections.push_back(
+        StrFormat("== %s: response-time analysis ==", ToString(kind)));
+    const auto rta = ResponseTimeAnalysis(set, blocking.AllB());
+    sections.push_back(rta.ok() ? rta.value().DebugString(set)
+                                : rta.status().ToString());
+  }
+  return Join(sections, "\n");
+}
+
+}  // namespace pcpda

@@ -1,0 +1,21 @@
+#ifndef PCPDA_ANALYSIS_REPORT_H_
+#define PCPDA_ANALYSIS_REPORT_H_
+
+#include <string>
+
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// A text table comparing BTS_i/B_i across the analyzable protocols — the
+/// Section-9 comparison the paper makes between PCP-DA and RW-PCP.
+std::string BlockingComparisonTable(const TransactionSet& set);
+
+/// A full offline schedulability report: per-protocol B_i, the
+/// Liu–Layland verdicts and the response-time verdicts. Requires a fully
+/// periodic set.
+std::string SchedulabilityReport(const TransactionSet& set);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_ANALYSIS_REPORT_H_

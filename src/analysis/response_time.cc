@@ -1,0 +1,81 @@
+#include "analysis/response_time.h"
+
+#include "common/strings.h"
+
+namespace pcpda {
+
+StatusOr<ResponseTimeResult> ResponseTimeAnalysis(
+    const TransactionSet& set, const std::vector<Tick>& b) {
+  if (b.size() != static_cast<std::size_t>(set.size())) {
+    return Status::InvalidArgument(
+        "blocking vector size does not match the transaction set");
+  }
+  Tick previous_period = 0;
+  for (SpecId i = 0; i < set.size(); ++i) {
+    if (set.spec(i).period <= 0) {
+      return Status::FailedPrecondition(
+          set.spec(i).name + ": response-time analysis requires periods");
+    }
+    if (set.spec(i).period < previous_period) {
+      return Status::FailedPrecondition(
+          "set is not rate-monotonically ordered");
+    }
+    previous_period = set.spec(i).period;
+  }
+
+  ResponseTimeResult result;
+  result.schedulable = true;
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const TransactionSpec& spec = set.spec(i);
+    const Tick deadline = set.RelativeDeadline(i);
+    const Tick c_i = spec.ExecutionTime();
+    Tick r = c_i + b[static_cast<std::size_t>(i)];
+    ResponseTimeSpecResult sr;
+    for (;;) {
+      Tick next = c_i + b[static_cast<std::size_t>(i)];
+      for (SpecId j = 0; j < i; ++j) {
+        const Tick pd_j = set.spec(j).period;
+        next += ((r + pd_j - 1) / pd_j) * set.spec(j).ExecutionTime();
+      }
+      if (next == r) break;
+      r = next;
+      if (r > deadline) break;  // diverged past the deadline
+    }
+    if (r > deadline) {
+      sr.response = kNoTick;
+      sr.schedulable = false;
+    } else {
+      sr.response = r;
+      sr.schedulable = true;
+    }
+    result.schedulable = result.schedulable && sr.schedulable;
+    result.per_spec.push_back(sr);
+  }
+  return result;
+}
+
+std::string ResponseTimeResult::DebugString(
+    const TransactionSet& set) const {
+  std::vector<std::string> lines;
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const ResponseTimeSpecResult& r =
+        per_spec[static_cast<std::size_t>(i)];
+    if (r.schedulable) {
+      lines.push_back(StrFormat("%s: R=%lld (D=%lld) OK",
+                                set.spec(i).name.c_str(),
+                                static_cast<long long>(r.response),
+                                static_cast<long long>(
+                                    set.RelativeDeadline(i))));
+    } else {
+      lines.push_back(StrFormat("%s: R > D=%lld FAIL",
+                                set.spec(i).name.c_str(),
+                                static_cast<long long>(
+                                    set.RelativeDeadline(i))));
+    }
+  }
+  lines.push_back(std::string("overall: ") +
+                  (schedulable ? "schedulable" : "NOT schedulable"));
+  return Join(lines, "\n");
+}
+
+}  // namespace pcpda

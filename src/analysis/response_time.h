@@ -1,0 +1,42 @@
+#ifndef PCPDA_ANALYSIS_RESPONSE_TIME_H_
+#define PCPDA_ANALYSIS_RESPONSE_TIME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// Exact response-time analysis (extension to the paper's sufficient
+/// Liu–Layland test; standard for fixed-priority systems with blocking):
+///
+///   R_i = C_i + B_i + sum_{j < i} ceil(R_i / Pd_j) C_j
+///
+/// iterated to a fixpoint. A transaction is schedulable iff R_i <= D_i.
+/// This test is tighter than the utilization bound: sets the bound
+/// rejects are often still schedulable.
+struct ResponseTimeSpecResult {
+  /// The fixpoint response time, or kNoTick if the iteration diverged
+  /// past the deadline.
+  Tick response = 0;
+  bool schedulable = false;
+};
+
+struct ResponseTimeResult {
+  std::vector<ResponseTimeSpecResult> per_spec;
+  bool schedulable = false;
+
+  std::string DebugString(const TransactionSet& set) const;
+};
+
+/// Runs the analysis on a fully periodic, rate-monotonically ordered set
+/// with worst-case blocking `b` per spec.
+StatusOr<ResponseTimeResult> ResponseTimeAnalysis(const TransactionSet& set,
+                                                  const std::vector<Tick>& b);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_ANALYSIS_RESPONSE_TIME_H_

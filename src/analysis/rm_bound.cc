@@ -1,0 +1,125 @@
+#include "analysis/rm_bound.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pcpda {
+
+double RmUtilizationBound(int i) {
+  PCPDA_CHECK(i >= 1);
+  return static_cast<double>(i) *
+         (std::pow(2.0, 1.0 / static_cast<double>(i)) - 1.0);
+}
+
+StatusOr<RmBoundResult> LiuLaylandTest(const TransactionSet& set,
+                                       const std::vector<Tick>& b) {
+  if (b.size() != static_cast<std::size_t>(set.size())) {
+    return Status::InvalidArgument(
+        "blocking vector size does not match the transaction set");
+  }
+  Tick previous_period = 0;
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const TransactionSpec& spec = set.spec(i);
+    if (spec.period <= 0) {
+      return Status::FailedPrecondition(
+          spec.name + ": the Section-9 test requires periodic transactions");
+    }
+    if (spec.period < previous_period) {
+      return Status::FailedPrecondition(
+          "set is not rate-monotonically ordered");
+    }
+    previous_period = spec.period;
+  }
+
+  RmBoundResult result;
+  result.schedulable = true;
+  double utilization_sum = 0.0;
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const TransactionSpec& spec = set.spec(i);
+    utilization_sum += static_cast<double>(spec.ExecutionTime()) /
+                       static_cast<double>(spec.period);
+    RmBoundSpecResult r;
+    r.utilization_sum = utilization_sum;
+    r.blocking_term = static_cast<double>(b[static_cast<std::size_t>(i)]) /
+                      static_cast<double>(spec.period);
+    r.bound = RmUtilizationBound(static_cast<int>(i) + 1);
+    r.schedulable = r.utilization_sum + r.blocking_term <= r.bound;
+    result.schedulable = result.schedulable && r.schedulable;
+    result.per_spec.push_back(r);
+  }
+  return result;
+}
+
+StatusOr<HyperbolicResult> HyperbolicTest(const TransactionSet& set,
+                                          const std::vector<Tick>& b) {
+  if (b.size() != static_cast<std::size_t>(set.size())) {
+    return Status::InvalidArgument(
+        "blocking vector size does not match the transaction set");
+  }
+  Tick previous_period = 0;
+  for (SpecId i = 0; i < set.size(); ++i) {
+    if (set.spec(i).period <= 0) {
+      return Status::FailedPrecondition(
+          set.spec(i).name + ": the hyperbolic test requires periods");
+    }
+    if (set.spec(i).period < previous_period) {
+      return Status::FailedPrecondition(
+          "set is not rate-monotonically ordered");
+    }
+    previous_period = set.spec(i).period;
+  }
+
+  HyperbolicResult result;
+  result.schedulable = true;
+  double prefix = 1.0;  // prod (U_j + 1) over j < i
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const TransactionSpec& spec = set.spec(i);
+    const double u_i = static_cast<double>(spec.ExecutionTime()) /
+                       static_cast<double>(spec.period);
+    HyperbolicSpecResult r;
+    r.blocking_factor =
+        u_i +
+        static_cast<double>(b[static_cast<std::size_t>(i)]) /
+            static_cast<double>(spec.period) +
+        1.0;
+    r.product = prefix * r.blocking_factor;
+    r.schedulable = r.product <= 2.0;
+    result.schedulable = result.schedulable && r.schedulable;
+    result.per_spec.push_back(r);
+    prefix *= u_i + 1.0;
+  }
+  return result;
+}
+
+std::string HyperbolicResult::DebugString(const TransactionSet& set) const {
+  std::vector<std::string> lines;
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const HyperbolicSpecResult& r =
+        per_spec[static_cast<std::size_t>(i)];
+    lines.push_back(StrFormat(
+        "%s: prod (last factor %.4f) = %.4f vs 2 -> %s",
+        set.spec(i).name.c_str(), r.blocking_factor, r.product,
+        r.schedulable ? "OK" : "FAIL"));
+  }
+  lines.push_back(std::string("overall: ") +
+                  (schedulable ? "schedulable" : "NOT schedulable"));
+  return Join(lines, "\n");
+}
+
+std::string RmBoundResult::DebugString(const TransactionSet& set) const {
+  std::vector<std::string> lines;
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const RmBoundSpecResult& r = per_spec[static_cast<std::size_t>(i)];
+    lines.push_back(StrFormat(
+        "%s: U=%.4f + B/Pd=%.4f vs bound %.4f -> %s",
+        set.spec(i).name.c_str(), r.utilization_sum, r.blocking_term,
+        r.bound, r.schedulable ? "OK" : "FAIL"));
+  }
+  lines.push_back(std::string("overall: ") +
+                  (schedulable ? "schedulable" : "NOT schedulable"));
+  return Join(lines, "\n");
+}
+
+}  // namespace pcpda

@@ -1,0 +1,69 @@
+#ifndef PCPDA_ANALYSIS_RM_BOUND_H_
+#define PCPDA_ANALYSIS_RM_BOUND_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// Verdict of the Liu–Layland style sufficient test of Section 9 for one
+/// transaction:
+///
+///   C_1/Pd_1 + ... + C_i/Pd_i + B_i/Pd_i  <=  i (2^(1/i) - 1)
+struct RmBoundSpecResult {
+  double utilization_sum = 0.0;  // sum of C_j/Pd_j for j <= i
+  double blocking_term = 0.0;    // B_i/Pd_i
+  double bound = 0.0;            // i(2^(1/i)-1)
+  bool schedulable = false;
+};
+
+struct RmBoundResult {
+  std::vector<RmBoundSpecResult> per_spec;
+  bool schedulable = false;
+
+  std::string DebugString(const TransactionSet& set) const;
+};
+
+/// Runs the Section-9 schedulability condition on a fully periodic,
+/// rate-monotonically ordered set with per-spec worst-case blocking `b`
+/// (b.size() == set.size()). Fails on one-shot specs or on a set not
+/// ordered by non-decreasing period.
+StatusOr<RmBoundResult> LiuLaylandTest(const TransactionSet& set,
+                                       const std::vector<Tick>& b);
+
+/// i (2^(1/i) - 1), the RM utilization bound for i transactions (i >= 1).
+double RmUtilizationBound(int i);
+
+/// Verdict of the hyperbolic bound (Bini & Buttazzo; extension — tighter
+/// than Liu–Layland) with the blocking term folded additively into the
+/// transaction under test, which preserves dominance over the Liu–Layland
+/// condition with blocking:
+///
+///   prod_{j < i} (C_j/Pd_j + 1) * (C_i/Pd_i + B_i/Pd_i + 1)  <=  2
+struct HyperbolicSpecResult {
+  /// The tested left-hand side for this transaction.
+  double product = 0.0;
+  /// The i-th factor: C_i/Pd_i + B_i/Pd_i + 1.
+  double blocking_factor = 0.0;
+  bool schedulable = false;
+};
+
+struct HyperbolicResult {
+  std::vector<HyperbolicSpecResult> per_spec;
+  bool schedulable = false;
+
+  std::string DebugString(const TransactionSet& set) const;
+};
+
+/// Runs the hyperbolic test on a fully periodic, rate-monotonically
+/// ordered set with per-spec worst-case blocking `b`.
+StatusOr<HyperbolicResult> HyperbolicTest(const TransactionSet& set,
+                                          const std::vector<Tick>& b);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_ANALYSIS_RM_BOUND_H_

@@ -1,0 +1,37 @@
+#ifndef PCPDA_COMMON_CHECK_H_
+#define PCPDA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros. The project does not use C++ exceptions
+// (recoverable errors travel through pcpda::Status); a failed check is a
+// programming error and terminates after printing the violated condition.
+
+#define PCPDA_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "PCPDA_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define PCPDA_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PCPDA_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, (msg));                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Marks code paths that are impossible by construction.
+#define PCPDA_UNREACHABLE(msg)                                              \
+  do {                                                                      \
+    std::fprintf(stderr, "PCPDA_UNREACHABLE at %s:%d: %s\n", __FILE__,      \
+                 __LINE__, (msg));                                          \
+    std::abort();                                                           \
+  } while (0)
+
+#endif  // PCPDA_COMMON_CHECK_H_

@@ -1,0 +1,86 @@
+#include "common/rng.h"
+
+#include <unordered_set>
+
+namespace pcpda {
+namespace {
+
+// SplitMix64, used to expand the seed into the xoshiro state.
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  PCPDA_CHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // Full 64-bit range.
+    return static_cast<std::int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % span;
+  std::uint64_t value = Next();
+  while (value >= limit) value = Next();
+  return lo + static_cast<std::int64_t>(value % span);
+}
+
+double Rng::UniformDouble() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformRange(double lo, double hi) {
+  PCPDA_CHECK(lo < hi);
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::vector<std::int64_t> Rng::SampleWithoutReplacement(std::int64_t n,
+                                                        std::int64_t k) {
+  PCPDA_CHECK(k >= 0 && k <= n);
+  // Floyd's algorithm: O(k) expected draws.
+  std::unordered_set<std::int64_t> seen;
+  std::vector<std::int64_t> result;
+  result.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t j = n - k; j < n; ++j) {
+    std::int64_t v = UniformInt(0, j);
+    if (seen.contains(v)) v = j;
+    seen.insert(v);
+    result.push_back(v);
+  }
+  Shuffle(result);
+  return result;
+}
+
+}  // namespace pcpda

@@ -1,0 +1,55 @@
+#ifndef PCPDA_COMMON_RNG_H_
+#define PCPDA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace pcpda {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Workload
+/// generation and property tests depend on run-to-run reproducibility, so
+/// the project does not use std::random_device or unseeded engines.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double UniformRange(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct values from [0, n) in random order.
+  /// Requires k <= n.
+  std::vector<std::int64_t> SampleWithoutReplacement(std::int64_t n,
+                                                     std::int64_t k);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_COMMON_RNG_H_

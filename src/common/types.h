@@ -1,0 +1,112 @@
+#ifndef PCPDA_COMMON_TYPES_H_
+#define PCPDA_COMMON_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace pcpda {
+
+/// Simulation time in integer ticks. The paper's figures use unit time; the
+/// simulator advances one tick at a time.
+using Tick = std::int64_t;
+
+/// Sentinel for "no deadline / unbounded horizon".
+inline constexpr Tick kNoTick = std::numeric_limits<Tick>::max();
+
+/// Index of a transaction spec (the static, periodic transaction). Specs are
+/// ordered by priority: spec 0 is T_1 in the paper (highest priority).
+using SpecId = std::int32_t;
+
+/// A data item in the memory-resident database.
+using ItemId = std::int32_t;
+
+/// A running transaction instance (job). Unique within one simulation run.
+using JobId = std::int64_t;
+
+inline constexpr SpecId kInvalidSpec = -1;
+inline constexpr ItemId kInvalidItem = -1;
+inline constexpr JobId kInvalidJob = -1;
+
+/// Transaction priority. Higher `level` means higher priority (the paper's
+/// P_1 > P_2 > ... maps to larger levels). `Priority::Dummy()` is the
+/// paper's "dummy" ceiling, lower than every real transaction priority.
+class Priority {
+ public:
+  constexpr Priority() : level_(kDummyLevel) {}
+  constexpr explicit Priority(int level) : level_(level) {}
+
+  /// The ceiling value lower than all transaction priorities.
+  static constexpr Priority Dummy() { return Priority(); }
+
+  constexpr int level() const { return level_; }
+  constexpr bool is_dummy() const { return level_ == kDummyLevel; }
+
+  friend constexpr auto operator<=>(Priority a, Priority b) = default;
+
+  /// Human-readable form: "P1" for the highest priority of an n-spec set is
+  /// produced by callers that know n; here we print the raw level.
+  std::string DebugString() const;
+
+ private:
+  static constexpr int kDummyLevel = std::numeric_limits<int>::min();
+  int level_;
+};
+
+constexpr Priority Max(Priority a, Priority b) { return a < b ? b : a; }
+
+/// Rate-monotonic priority for the spec at (0-based) `index` in a set of
+/// `count` specs sorted from highest to lowest priority: T_1 (index 0) gets
+/// the largest level so that comparisons match the paper's P_1 > P_2 > ...
+constexpr Priority PriorityForSpecIndex(SpecId index, SpecId count) {
+  return Priority(static_cast<int>(count - index));
+}
+
+/// Lock modes. PCP-DA write locks protect a workspace update (and are
+/// compatible with each other); baseline protocols treat them as exclusive.
+enum class LockMode : std::uint8_t {
+  kRead,
+  kWrite,
+};
+
+inline const char* ToString(LockMode mode) {
+  return mode == LockMode::kRead ? "read" : "write";
+}
+
+/// Why a lock request was denied (Section 3 of the paper distinguishes the
+/// two kinds of blocking a priority ceiling protocol can cause).
+enum class BlockReason : std::uint8_t {
+  kNone = 0,
+  /// Conflict blocking: the requested item itself is locked in an
+  /// incompatible mode.
+  kConflict,
+  /// Ceiling blocking: the requester's priority does not clear the system
+  /// priority ceiling (or a locking-condition guard), although the item
+  /// itself is available.
+  kCeiling,
+};
+
+inline const char* ToString(BlockReason reason) {
+  switch (reason) {
+    case BlockReason::kNone:
+      return "none";
+    case BlockReason::kConflict:
+      return "conflict";
+    case BlockReason::kCeiling:
+      return "ceiling";
+  }
+  return "unknown";
+}
+
+}  // namespace pcpda
+
+template <>
+struct std::hash<pcpda::Priority> {
+  std::size_t operator()(pcpda::Priority p) const noexcept {
+    return std::hash<int>()(p.level());
+  }
+};
+
+#endif  // PCPDA_COMMON_TYPES_H_

@@ -1,0 +1,76 @@
+#include "core/serialization_order.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace pcpda {
+
+std::string OrderConstraint::DebugString() const {
+  return StrFormat("job %lld before job %lld via d%d (read@%lld)",
+                   static_cast<long long>(reader),
+                   static_cast<long long>(writer), item,
+                   static_cast<long long>(read_tick));
+}
+
+namespace {
+
+struct Effect {
+  JobId job;
+  bool is_write;
+  Tick tick;
+  std::int64_t seq;
+};
+
+std::map<ItemId, std::vector<Effect>> EffectsByItem(const History& history) {
+  std::map<ItemId, std::vector<Effect>> by_item;
+  for (const CommittedTxn& txn : history.committed()) {
+    for (const HistoryOp& op : txn.ops) {
+      if (op.own_read) continue;
+      by_item[op.item].push_back({txn.job,
+                                  op.kind == HistoryOp::Kind::kWrite,
+                                  op.tick, op.seq});
+    }
+  }
+  for (auto& [item, effects] : by_item) {
+    std::sort(effects.begin(), effects.end(),
+              [](const Effect& a, const Effect& b) { return a.seq < b.seq; });
+  }
+  return by_item;
+}
+
+}  // namespace
+
+std::vector<OrderConstraint> DeriveOrderConstraints(const History& history) {
+  std::vector<OrderConstraint> constraints;
+  for (const auto& [item, effects] : EffectsByItem(history)) {
+    for (std::size_t i = 0; i < effects.size(); ++i) {
+      if (effects[i].is_write) continue;
+      for (std::size_t j = i + 1; j < effects.size(); ++j) {
+        if (!effects[j].is_write) continue;
+        if (effects[j].job == effects[i].job) continue;
+        constraints.push_back(
+            {effects[i].job, effects[j].job, item, effects[i].tick});
+      }
+    }
+  }
+  return constraints;
+}
+
+std::vector<OrderConstraint> FindCommitOrderViolations(
+    const History& history) {
+  std::map<JobId, std::int64_t> commit_seq;
+  for (const CommittedTxn& txn : history.committed()) {
+    commit_seq[txn.job] = txn.commit_seq;
+  }
+  std::vector<OrderConstraint> violations;
+  for (const OrderConstraint& c : DeriveOrderConstraints(history)) {
+    if (commit_seq.at(c.reader) > commit_seq.at(c.writer)) {
+      violations.push_back(c);
+    }
+  }
+  return violations;
+}
+
+}  // namespace pcpda

@@ -1,0 +1,45 @@
+#ifndef PCPDA_CORE_SERIALIZATION_ORDER_H_
+#define PCPDA_CORE_SERIALIZATION_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+
+namespace pcpda {
+
+/// One serialization-order constraint PCP-DA established at run time: the
+/// reader observed the value of `item` from before `writer`'s update, so
+/// the reader precedes the writer in any witness serial order, and —
+/// because restarts are forbidden — the protocol must make the reader
+/// commit first (Case 1 of Section 4.1).
+struct OrderConstraint {
+  JobId reader = kInvalidJob;
+  JobId writer = kInvalidJob;
+  ItemId item = kInvalidItem;
+  /// When the read took effect.
+  Tick read_tick = 0;
+
+  std::string DebugString() const;
+
+  friend bool operator==(const OrderConstraint&,
+                         const OrderConstraint&) = default;
+};
+
+/// Extracts the dynamic serialization-order constraints from a committed
+/// history: for every committed read of `item` and every committed write
+/// of `item` that took effect after the read (by a different transaction),
+/// the reader must precede the writer.
+std::vector<OrderConstraint> DeriveOrderConstraints(const History& history);
+
+/// Verifies the paper's Case-1 guarantee on a PCP-DA history: every
+/// constraint's reader committed before its writer (equivalently, a
+/// committed transaction never has write-read conflicts with transactions
+/// that were still executing — Lemma 9). Returns the violated constraints
+/// (empty means the guarantee held).
+std::vector<OrderConstraint> FindCommitOrderViolations(
+    const History& history);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_CORE_SERIALIZATION_ORDER_H_

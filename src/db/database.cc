@@ -1,0 +1,46 @@
+#include "db/database.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pcpda {
+
+std::string Value::DebugString() const {
+  if (writer == kInvalidJob) return "v0(initial)";
+  return StrFormat("v%lld(job %lld)", static_cast<long long>(version),
+                   static_cast<long long>(writer));
+}
+
+Database::Database(ItemId item_count) {
+  PCPDA_CHECK(item_count >= 0);
+  items_.resize(static_cast<std::size_t>(item_count));
+}
+
+const Value& Database::Read(ItemId item) const {
+  PCPDA_CHECK(item >= 0 && item < item_count());
+  return items_[static_cast<std::size_t>(item)];
+}
+
+Value Database::Write(ItemId item, JobId writer) {
+  PCPDA_CHECK(item >= 0 && item < item_count());
+  Value value{writer, next_version_++};
+  items_[static_cast<std::size_t>(item)] = value;
+  return value;
+}
+
+void Database::Restore(ItemId item, const Value& value) {
+  PCPDA_CHECK(item >= 0 && item < item_count());
+  items_[static_cast<std::size_t>(item)] = value;
+}
+
+std::string Database::DebugString() const {
+  std::vector<std::string> parts;
+  parts.reserve(items_.size());
+  for (ItemId i = 0; i < item_count(); ++i) {
+    parts.push_back(StrFormat(
+        "d%d=%s", i, items_[static_cast<std::size_t>(i)].DebugString().c_str()));
+  }
+  return Join(parts, " ");
+}
+
+}  // namespace pcpda

@@ -1,0 +1,46 @@
+#ifndef PCPDA_DB_DATABASE_H_
+#define PCPDA_DB_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "db/value.h"
+
+namespace pcpda {
+
+/// The memory-resident database: a flat array of versioned data items.
+/// Values carry only provenance (writer job + global version), which is
+/// what the serializability checker consumes. All access control lives in
+/// the protocols; the database itself is mechanism only.
+class Database {
+ public:
+  explicit Database(ItemId item_count);
+
+  ItemId item_count() const { return static_cast<ItemId>(items_.size()); }
+
+  /// The current committed (or, under update-in-place, latest written)
+  /// value of `item`.
+  const Value& Read(ItemId item) const;
+
+  /// Installs a new value for `item` written by `writer`, stamping it with
+  /// the next global version. Returns the installed value.
+  Value Write(ItemId item, JobId writer);
+
+  /// Reinstates a previous value verbatim (abort undo). Does not consume a
+  /// version number.
+  void Restore(ItemId item, const Value& value);
+
+  /// Number of writes ever applied.
+  std::int64_t write_count() const { return next_version_ - 1; }
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<Value> items_;
+  std::int64_t next_version_ = 1;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_DB_DATABASE_H_

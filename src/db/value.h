@@ -1,0 +1,28 @@
+#ifndef PCPDA_DB_VALUE_H_
+#define PCPDA_DB_VALUE_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace pcpda {
+
+/// The value stored in a data item. The simulator does not model
+/// application payloads; a value is identified by the job that produced it
+/// and a globally increasing version, which is exactly what the
+/// serializability checker needs to track reads-from relationships.
+struct Value {
+  /// The committed job that wrote this value, or kInvalidJob for the
+  /// initial database state.
+  JobId writer = kInvalidJob;
+  /// Globally monotone version stamp (0 for the initial state).
+  std::int64_t version = 0;
+
+  std::string DebugString() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_DB_VALUE_H_

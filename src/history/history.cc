@@ -1,0 +1,60 @@
+#include "history/history.h"
+
+#include "common/strings.h"
+
+namespace pcpda {
+
+std::string HistoryOp::DebugString() const {
+  return StrFormat("%s(d%d)@%lld.%lld%s",
+                   kind == Kind::kRead ? "r" : "w", item,
+                   static_cast<long long>(tick),
+                   static_cast<long long>(seq), own_read ? "[own]" : "");
+}
+
+void History::RecordRead(JobId job, ItemId item, Tick tick,
+                         std::int64_t seq, Value observed, bool own_read) {
+  pending_[job].push_back(
+      {HistoryOp::Kind::kRead, item, tick, seq, observed, own_read});
+}
+
+void History::RecordWrite(JobId job, ItemId item, Tick tick,
+                          std::int64_t seq) {
+  pending_[job].push_back(
+      {HistoryOp::Kind::kWrite, item, tick, seq, Value{}, false});
+}
+
+void History::RecordCommit(JobId job, SpecId spec, int instance, Tick tick,
+                           std::int64_t seq) {
+  CommittedTxn txn;
+  txn.job = job;
+  txn.spec = spec;
+  txn.instance = instance;
+  txn.commit_tick = tick;
+  txn.commit_seq = seq;
+  auto it = pending_.find(job);
+  if (it != pending_.end()) {
+    txn.ops = std::move(it->second);
+    pending_.erase(it);
+  }
+  committed_.push_back(std::move(txn));
+}
+
+void History::DiscardPending(JobId job) { pending_.erase(job); }
+
+std::string History::DebugString() const {
+  std::vector<std::string> lines;
+  lines.reserve(committed_.size());
+  for (const CommittedTxn& txn : committed_) {
+    std::vector<std::string> ops;
+    ops.reserve(txn.ops.size());
+    for (const HistoryOp& op : txn.ops) ops.push_back(op.DebugString());
+    lines.push_back(StrFormat("job %lld (spec %d#%d) commit@%lld: %s",
+                              static_cast<long long>(txn.job), txn.spec,
+                              txn.instance,
+                              static_cast<long long>(txn.commit_tick),
+                              Join(ops, " ").c_str()));
+  }
+  return Join(lines, "\n");
+}
+
+}  // namespace pcpda

@@ -1,0 +1,46 @@
+#ifndef PCPDA_HISTORY_REPLAY_CHECKER_H_
+#define PCPDA_HISTORY_REPLAY_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+
+namespace pcpda {
+
+/// A read whose observed value disagrees with the serial replay.
+struct ReplayMismatch {
+  JobId job = kInvalidJob;
+  ItemId item = kInvalidItem;
+  Tick tick = 0;
+  /// What the transaction actually observed during the run.
+  Value observed;
+  /// What it would observe executing serially in the witness order.
+  Value replayed;
+
+  std::string DebugString() const;
+};
+
+/// Outcome of the replay check.
+struct ReplayResult {
+  bool serializable = false;
+  /// Empty when every read matches the serial replay.
+  std::vector<ReplayMismatch> mismatches;
+
+  bool ok() const { return serializable && mismatches.empty(); }
+};
+
+/// End-to-end witness validation, one level stronger than SG acyclicity:
+/// extracts a serial order from the (acyclic) serialization graph, then
+/// REPLAYS the committed transactions in that order against a fresh
+/// database and verifies every recorded read observes exactly the value
+/// the serial execution would produce. Conflict equivalence guarantees
+/// this succeeds for any correct protocol + history capture, so a
+/// mismatch pinpoints a bug in either. Reads from a transaction's own
+/// workspace are validated against its own preceding write.
+ReplayResult ReplaySerialWitness(const History& history,
+                                 ItemId item_count);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_HISTORY_REPLAY_CHECKER_H_

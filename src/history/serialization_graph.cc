@@ -1,0 +1,137 @@
+#include "history/serialization_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pcpda {
+
+const std::set<JobId> SerializationGraph::kNoSuccessors;
+
+namespace {
+
+/// One operation tagged with its owning transaction, for per-item ordering.
+struct TaggedOp {
+  JobId job;
+  HistoryOp::Kind kind;
+  Tick tick;
+  std::int64_t seq;
+};
+
+bool Conflicts(HistoryOp::Kind a, HistoryOp::Kind b) {
+  return a == HistoryOp::Kind::kWrite || b == HistoryOp::Kind::kWrite;
+}
+
+}  // namespace
+
+SerializationGraph SerializationGraph::Build(const History& history) {
+  SerializationGraph graph;
+  std::map<ItemId, std::vector<TaggedOp>> per_item;
+  for (const CommittedTxn& txn : history.committed()) {
+    graph.nodes_.push_back(txn.job);
+    graph.edges_[txn.job];  // ensure node exists even with no edges
+    for (const HistoryOp& op : txn.ops) {
+      if (op.own_read) continue;  // local to the transaction
+      per_item[op.item].push_back({txn.job, op.kind, op.tick, op.seq});
+    }
+  }
+  for (auto& [item, ops] : per_item) {
+    std::sort(ops.begin(), ops.end(),
+              [](const TaggedOp& a, const TaggedOp& b) {
+                if (a.tick != b.tick) return a.tick < b.tick;
+                return a.seq < b.seq;
+              });
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (ops[i].job == ops[j].job) continue;
+        if (!Conflicts(ops[i].kind, ops[j].kind)) continue;
+        graph.edges_[ops[i].job].insert(ops[j].job);
+      }
+    }
+  }
+  return graph;
+}
+
+std::size_t SerializationGraph::edge_count() const {
+  std::size_t count = 0;
+  for (const auto& [node, successors] : edges_) count += successors.size();
+  return count;
+}
+
+const std::set<JobId>& SerializationGraph::successors(JobId job) const {
+  auto it = edges_.find(job);
+  return it == edges_.end() ? kNoSuccessors : it->second;
+}
+
+bool SerializationGraph::HasEdge(JobId from, JobId to) const {
+  return successors(from).contains(to);
+}
+
+SerializationGraph::Result SerializationGraph::CheckAcyclic() const {
+  Result result;
+  // Iterative three-color DFS; records a back edge's cycle if found,
+  // otherwise emits reverse-post-order as the serial-order witness.
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::map<JobId, Color> color;
+  for (JobId node : nodes_) color[node] = Color::kWhite;
+
+  std::vector<JobId> post_order;
+  for (JobId root : nodes_) {
+    if (color[root] != Color::kWhite) continue;
+    // Stack of (node, next-successor iterator position).
+    std::vector<std::pair<JobId, std::set<JobId>::const_iterator>> stack;
+    color[root] = Color::kGray;
+    stack.emplace_back(root, successors(root).begin());
+    while (!stack.empty()) {
+      auto& [node, it] = stack.back();
+      if (it == successors(node).end()) {
+        color[node] = Color::kBlack;
+        post_order.push_back(node);
+        stack.pop_back();
+        continue;
+      }
+      const JobId next = *it;
+      ++it;
+      if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        stack.emplace_back(next, successors(next).begin());
+      } else if (color[next] == Color::kGray) {
+        // Back edge: extract the cycle from the stack.
+        result.serializable = false;
+        std::vector<JobId> cycle;
+        bool in_cycle = false;
+        for (const auto& [n, unused] : stack) {
+          if (n == next) in_cycle = true;
+          if (in_cycle) cycle.push_back(n);
+        }
+        cycle.push_back(next);
+        result.cycle = std::move(cycle);
+        return result;
+      }
+    }
+  }
+  result.serial_order.assign(post_order.rbegin(), post_order.rend());
+  return result;
+}
+
+std::string SerializationGraph::DebugString() const {
+  std::vector<std::string> lines;
+  for (const auto& [node, successors] : edges_) {
+    std::vector<std::string> targets;
+    targets.reserve(successors.size());
+    for (JobId to : successors) {
+      targets.push_back(StrFormat("%lld", static_cast<long long>(to)));
+    }
+    lines.push_back(StrFormat("%lld -> {%s}",
+                              static_cast<long long>(node),
+                              Join(targets, ",").c_str()));
+  }
+  return Join(lines, "\n");
+}
+
+bool IsSerializable(const History& history) {
+  return SerializationGraph::Build(history).CheckAcyclic().serializable;
+}
+
+}  // namespace pcpda

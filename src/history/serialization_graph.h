@@ -1,0 +1,56 @@
+#ifndef PCPDA_HISTORY_SERIALIZATION_GRAPH_H_
+#define PCPDA_HISTORY_SERIALIZATION_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+
+namespace pcpda {
+
+/// The conflict serialization graph SG(H) over the committed transactions
+/// of a history (Section 8 of the paper). Nodes are committed jobs; there
+/// is an edge T_i -> T_j when an operation of T_i precedes and conflicts
+/// with an operation of T_j (read/write or write/write on the same item,
+/// ordered by effective time). Reads satisfied from the reader's own
+/// workspace touch no other transaction and create no edges.
+class SerializationGraph {
+ public:
+  /// Builds SG(H) from the committed transactions of `history`.
+  static SerializationGraph Build(const History& history);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const;
+  const std::vector<JobId>& nodes() const { return nodes_; }
+  const std::set<JobId>& successors(JobId job) const;
+  bool HasEdge(JobId from, JobId to) const;
+
+  /// Result of the acyclicity check.
+  struct Result {
+    bool serializable = true;
+    /// A witness serial order (topological order of SG) when serializable.
+    std::vector<JobId> serial_order;
+    /// A cycle (first node repeated at the end) when not serializable.
+    std::vector<JobId> cycle;
+  };
+
+  /// Checks acyclicity; produces a serial-order witness or a cycle.
+  Result CheckAcyclic() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<JobId> nodes_;
+  std::map<JobId, std::set<JobId>> edges_;
+
+  static const std::set<JobId> kNoSuccessors;
+};
+
+/// Convenience: true when the history is conflict serializable.
+bool IsSerializable(const History& history);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_HISTORY_SERIALIZATION_GRAPH_H_

@@ -1,0 +1,47 @@
+#include "protocols/ccp.h"
+
+#include <set>
+
+namespace pcpda {
+
+std::vector<std::pair<ItemId, LockMode>> Ccp::EarlyReleases(
+    const Job& job) const {
+  const auto& body = job.spec().body;
+  const LockTable& locks = view().locks();
+
+  // Growing phase check: if any remaining step needs a lock the job does
+  // not already hold (including read->write upgrades), nothing may be
+  // released yet — releasing before the last acquisition would leave the
+  // two-phase discipline and, with in-place updates, break
+  // serializability (see DESIGN.md §5 on the CCP approximation).
+  std::set<ItemId> future_items;
+  for (std::size_t i = job.step_index(); i < body.size(); ++i) {
+    const Step& step = body[i];
+    if (step.kind == StepKind::kCompute) continue;
+    future_items.insert(step.item);
+    const bool held =
+        step.kind == StepKind::kRead
+            ? (locks.HoldsRead(job.id(), step.item) ||
+               locks.HoldsWrite(job.id(), step.item))
+            : locks.HoldsWrite(job.id(), step.item);
+    if (!held) return {};
+  }
+
+  // Shrinking phase: unlock everything no remaining step touches. This is
+  // where CCP beats RW-PCP — high-ceiling items stop blocking others
+  // before the transaction ends.
+  std::vector<std::pair<ItemId, LockMode>> releases;
+  for (ItemId item : locks.write_items(job.id())) {
+    if (!future_items.contains(item)) {
+      releases.emplace_back(item, LockMode::kWrite);
+    }
+  }
+  for (ItemId item : locks.read_items(job.id())) {
+    if (!future_items.contains(item)) {
+      releases.emplace_back(item, LockMode::kRead);
+    }
+  }
+  return releases;
+}
+
+}  // namespace pcpda

@@ -1,0 +1,38 @@
+#ifndef PCPDA_PROTOCOLS_FACTORY_H_
+#define PCPDA_PROTOCOLS_FACTORY_H_
+
+#include <memory>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace pcpda {
+
+/// The protocols this library implements. kPcpDa is the paper's
+/// contribution; the rest are baselines (Section 2).
+enum class ProtocolKind : std::uint8_t {
+  kPcpDa,
+  kRwPcp,
+  kCcp,
+  kOpcp,
+  kTwoPlPi,
+  kTwoPlHp,
+  kOccBc,
+  kOccDa,
+};
+
+const char* ToString(ProtocolKind kind);
+
+/// All protocol kinds, PCP-DA first.
+std::vector<ProtocolKind> AllProtocolKinds();
+
+/// The ceiling-based kinds with a Section-9 style worst-case blocking
+/// analysis (PCP-DA, RW-PCP, CCP, OPCP).
+std::vector<ProtocolKind> AnalyzableProtocolKinds();
+
+/// Creates a fresh protocol instance.
+std::unique_ptr<Protocol> MakeProtocol(ProtocolKind kind);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_PROTOCOLS_FACTORY_H_

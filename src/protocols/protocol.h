@@ -1,0 +1,164 @@
+#ifndef PCPDA_PROTOCOLS_PROTOCOL_H_
+#define PCPDA_PROTOCOLS_PROTOCOL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "db/ceilings.h"
+#include "db/database.h"
+#include "db/lock_table.h"
+#include "txn/job.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// A pending lock request.
+struct LockRequest {
+  const Job* job = nullptr;
+  ItemId item = kInvalidItem;
+  LockMode mode = LockMode::kRead;
+};
+
+/// A protocol's verdict on a lock request. Decisions are pure — the
+/// simulator applies all side effects (lock table updates, aborts,
+/// priority inheritance, tracing).
+struct LockDecision {
+  enum class Kind : std::uint8_t {
+    kGrant,
+    kBlock,
+    /// Abort `victims` (restart them), then grant (2PL-HP).
+    kAbortAndGrant,
+    /// Abort the REQUESTER itself (optimistic protocols detecting a
+    /// serialization-order violation at access time).
+    kAbortRequester,
+  };
+
+  Kind kind = Kind::kGrant;
+  BlockReason reason = BlockReason::kNone;
+  /// kBlock: the jobs blocking the requester (priority-inheritance
+  /// targets). kAbortAndGrant: the victims to restart.
+  std::vector<JobId> jobs;
+  /// Annotation, e.g. the locking condition that granted ("LC2").
+  std::string note;
+
+  static LockDecision Grant(std::string note = "") {
+    LockDecision d;
+    d.note = std::move(note);
+    return d;
+  }
+  static LockDecision Block(BlockReason reason, std::vector<JobId> blockers,
+                            std::string note = "") {
+    LockDecision d;
+    d.kind = Kind::kBlock;
+    d.reason = reason;
+    d.jobs = std::move(blockers);
+    d.note = std::move(note);
+    return d;
+  }
+  static LockDecision AbortAndGrant(std::vector<JobId> victims,
+                                    std::string note = "") {
+    LockDecision d;
+    d.kind = Kind::kAbortAndGrant;
+    d.jobs = std::move(victims);
+    d.note = std::move(note);
+    return d;
+  }
+  static LockDecision AbortRequester(std::string note = "") {
+    LockDecision d;
+    d.kind = Kind::kAbortRequester;
+    d.note = std::move(note);
+    return d;
+  }
+
+  bool granted() const { return kind == Kind::kGrant; }
+};
+
+/// When transaction updates reach the database (Section 4 of the paper).
+enum class UpdateModel : std::uint8_t {
+  /// Writes apply immediately when the write step completes (RW-PCP, CCP,
+  /// OPCP, 2PL). Aborts undo through the job's undo log.
+  kInPlace,
+  /// Writes are buffered in the job's private workspace and apply at
+  /// commit (PCP-DA).
+  kWorkspace,
+};
+
+/// Read-only view of the simulation the protocols decide against.
+class SimView {
+ public:
+  virtual ~SimView() = default;
+
+  virtual const TransactionSet& set() const = 0;
+  virtual const StaticCeilings& ceilings() const = 0;
+  virtual const LockTable& locks() const = 0;
+  /// The committed database state (optimistic protocols validate reads
+  /// against it).
+  virtual const Database& database() const = 0;
+  /// The job with `id`, or nullptr if it no longer exists.
+  virtual const Job* job(JobId id) const = 0;
+  virtual Tick now() const = 0;
+  /// Live (active) jobs other than `except`.
+  virtual std::vector<const Job*> LiveJobs(JobId except) const = 0;
+};
+
+/// A concurrency-control protocol. Implementations are stateless with
+/// respect to the run: everything they need is derived from the SimView
+/// (lock table + static ceilings), which makes decisions trivially
+/// re-evaluable every tick.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  virtual const char* name() const = 0;
+  virtual UpdateModel update_model() const = 0;
+  /// Whether blocked requesters donate their priority to the blockers.
+  virtual bool uses_priority_inheritance() const { return true; }
+
+  /// Binds the protocol to a run. Must be called before Decide.
+  void Attach(const SimView* view);
+
+  /// Decides a lock request. Pure: must not mutate protocol state.
+  virtual LockDecision Decide(const LockRequest& request) const = 0;
+
+  /// Locks (item, mode) the job may release before commit, evaluated after
+  /// the job completes a step (CCP's convex early release). Default: none.
+  virtual std::vector<std::pair<ItemId, LockMode>> EarlyReleases(
+      const Job& job) const;
+
+  /// The highest priority ceiling currently raised by any held lock (the
+  /// paper's Max_Sysceil sample); dummy for protocols without ceilings.
+  virtual Priority CurrentCeiling() const { return Priority::Dummy(); }
+
+  // --- Commit-time validation (optimistic protocols) ----------------------
+
+  /// Active jobs the protocol requires aborted for `committing` to commit
+  /// (OCC broadcast-commit style forward validation). Applied by the
+  /// simulator immediately before the commit. Default: none.
+  virtual std::vector<JobId> CommitVictims(const Job& committing) const;
+
+  /// Notification hooks for protocols that keep per-job bookkeeping
+  /// (e.g. OCC-DA's serialization-order constraints). Called after the
+  /// simulator applies the corresponding transition.
+  virtual void OnCommitApplied(const Job& committed) { (void)committed; }
+  virtual void OnAbortApplied(const Job& aborted) { (void)aborted; }
+
+ protected:
+  Protocol() = default;
+
+  const SimView& view() const;
+
+  /// True when `other` is a different job than `self`.
+  static bool IsOther(JobId self, JobId other) { return self != other; }
+
+ private:
+  const SimView* view_ = nullptr;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_PROTOCOLS_PROTOCOL_H_

@@ -1,0 +1,81 @@
+#include "protocols/rw_pcp.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pcpda {
+
+Priority RwPcp::RuntimeCeiling(JobId holder, ItemId item) const {
+  const LockTable& locks = view().locks();
+  if (locks.HoldsWrite(holder, item)) return view().ceilings().Aceil(item);
+  return view().ceilings().Wceil(item);
+}
+
+RwPcp::SysceilInfo RwPcp::ComputeSysceil(JobId self) const {
+  SysceilInfo info;
+  info.sysceil = Priority::Dummy();
+  const LockTable& locks = view().locks();
+  auto consider = [&](JobId holder, Priority ceiling) {
+    if (ceiling.is_dummy()) return;
+    if (ceiling > info.sysceil) {
+      info.sysceil = ceiling;
+      info.holders.assign(1, holder);
+    } else if (ceiling == info.sysceil &&
+               std::find(info.holders.begin(), info.holders.end(),
+                         holder) == info.holders.end()) {
+      info.holders.push_back(holder);
+    }
+  };
+  for (JobId holder : locks.holders()) {
+    if (holder == self) continue;
+    for (ItemId item : locks.write_items(holder)) {
+      consider(holder, view().ceilings().Aceil(item));
+    }
+    for (ItemId item : locks.read_items(holder)) {
+      consider(holder, view().ceilings().Wceil(item));
+    }
+  }
+  return info;
+}
+
+LockDecision RwPcp::Decide(const LockRequest& request) const {
+  PCPDA_CHECK(request.job != nullptr);
+  const Job& job = *request.job;
+  const JobId self = job.id();
+  const ItemId x = request.item;
+  const LockTable& locks = view().locks();
+
+  const SysceilInfo info = ComputeSysceil(self);
+  if (job.running_priority() > info.sysceil) {
+    // The ceiling test subsumes conflict checking: a conflicting holder of
+    // x would have raised rwceil(x) to at least P_i.
+    return LockDecision::Grant();
+  }
+  // Classify the blocking the way Section 3 does: conflict blocking when x
+  // itself is held in an incompatible mode, ceiling blocking otherwise.
+  bool direct_conflict = !locks.NoWriterOtherThan(self, x);
+  if (request.mode == LockMode::kWrite &&
+      !locks.NoReaderOtherThan(self, x)) {
+    direct_conflict = true;
+  }
+  return LockDecision::Block(direct_conflict ? BlockReason::kConflict
+                                             : BlockReason::kCeiling,
+                             info.holders);
+}
+
+Priority RwPcp::CurrentCeiling() const {
+  Priority ceiling = Priority::Dummy();
+  const LockTable& locks = view().locks();
+  for (JobId holder : locks.holders()) {
+    for (ItemId item : locks.write_items(holder)) {
+      ceiling = Max(ceiling, view().ceilings().Aceil(item));
+    }
+    for (ItemId item : locks.read_items(holder)) {
+      ceiling = Max(ceiling, view().ceilings().Wceil(item));
+    }
+  }
+  return ceiling;
+}
+
+}  // namespace pcpda

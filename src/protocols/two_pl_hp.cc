@@ -1,0 +1,40 @@
+#include "protocols/two_pl_hp.h"
+
+#include "common/check.h"
+
+namespace pcpda {
+
+LockDecision TwoPlHp::Decide(const LockRequest& request) const {
+  PCPDA_CHECK(request.job != nullptr);
+  const Job& job = *request.job;
+  const JobId self = job.id();
+  const ItemId x = request.item;
+  const LockTable& locks = view().locks();
+
+  std::vector<JobId> conflicting;
+  for (JobId writer : locks.writers(x)) {
+    if (writer != self) conflicting.push_back(writer);
+  }
+  if (request.mode == LockMode::kWrite) {
+    for (JobId reader : locks.readers(x)) {
+      if (reader != self) conflicting.push_back(reader);
+    }
+  }
+  if (conflicting.empty()) return LockDecision::Grant();
+
+  bool requester_wins = true;
+  for (JobId holder_id : conflicting) {
+    const Job* holder = view().job(holder_id);
+    PCPDA_CHECK(holder != nullptr);
+    if (holder->base_priority() >= job.base_priority()) {
+      requester_wins = false;
+      break;
+    }
+  }
+  if (requester_wins) {
+    return LockDecision::AbortAndGrant(std::move(conflicting), "2PL-HP");
+  }
+  return LockDecision::Block(BlockReason::kConflict, std::move(conflicting));
+}
+
+}  // namespace pcpda

@@ -1,0 +1,29 @@
+#ifndef PCPDA_PROTOCOLS_TWO_PL_HP_H_
+#define PCPDA_PROTOCOLS_TWO_PL_HP_H_
+
+#include "protocols/protocol.h"
+
+namespace pcpda {
+
+/// Two-phase locking with the High Priority conflict resolution of Abbott
+/// & Garcia-Molina (the abortion strategy the paper's Section 2 contrasts
+/// with, refs [18,19,21]): on a conflict, if the requester's priority
+/// exceeds every conflicting holder's, the holders are aborted and
+/// restarted; otherwise the requester waits. Deadlock-free (the wait-for
+/// graph only points towards higher priorities) but pays abort/re-execute
+/// overhead, and the number of restarts a low-priority transaction suffers
+/// is unbounded — which is why its schedulability analysis is problematic.
+class TwoPlHp : public Protocol {
+ public:
+  TwoPlHp() = default;
+
+  const char* name() const override { return "2PL-HP"; }
+  UpdateModel update_model() const override { return UpdateModel::kInPlace; }
+  bool uses_priority_inheritance() const override { return false; }
+
+  LockDecision Decide(const LockRequest& request) const override;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_PROTOCOLS_TWO_PL_HP_H_

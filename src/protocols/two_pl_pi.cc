@@ -1,0 +1,26 @@
+#include "protocols/two_pl_pi.h"
+
+#include "common/check.h"
+
+namespace pcpda {
+
+LockDecision TwoPlPi::Decide(const LockRequest& request) const {
+  PCPDA_CHECK(request.job != nullptr);
+  const JobId self = request.job->id();
+  const ItemId x = request.item;
+  const LockTable& locks = view().locks();
+
+  std::vector<JobId> conflicting;
+  for (JobId writer : locks.writers(x)) {
+    if (writer != self) conflicting.push_back(writer);
+  }
+  if (request.mode == LockMode::kWrite) {
+    for (JobId reader : locks.readers(x)) {
+      if (reader != self) conflicting.push_back(reader);
+    }
+  }
+  if (conflicting.empty()) return LockDecision::Grant();
+  return LockDecision::Block(BlockReason::kConflict, std::move(conflicting));
+}
+
+}  // namespace pcpda

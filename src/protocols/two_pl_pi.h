@@ -1,0 +1,26 @@
+#ifndef PCPDA_PROTOCOLS_TWO_PL_PI_H_
+#define PCPDA_PROTOCOLS_TWO_PL_PI_H_
+
+#include "protocols/protocol.h"
+
+namespace pcpda {
+
+/// Two-phase locking with the basic priority inheritance protocol (Sha et
+/// al.'s PIP, Section 1 of the paper): plain shared/exclusive locks, the
+/// blocker inherits the waiter's priority. Bounds neither chained blocking
+/// nor deadlock — the paper's motivation for ceiling protocols. The
+/// simulator's wait-for-graph detector catches the deadlocks this protocol
+/// can produce.
+class TwoPlPi : public Protocol {
+ public:
+  TwoPlPi() = default;
+
+  const char* name() const override { return "2PL-PI"; }
+  UpdateModel update_model() const override { return UpdateModel::kInPlace; }
+
+  LockDecision Decide(const LockRequest& request) const override;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_PROTOCOLS_TWO_PL_PI_H_

@@ -1,0 +1,82 @@
+#include "sched/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pcpda {
+
+Tick SpecMetrics::ResponsePercentile(double p) const {
+  if (responses.empty()) return 0;
+  PCPDA_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<Tick> sorted = responses;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+std::int64_t RunMetrics::TotalReleased() const {
+  std::int64_t total = 0;
+  for (const SpecMetrics& m : per_spec) total += m.released;
+  return total;
+}
+
+std::int64_t RunMetrics::TotalCommitted() const {
+  std::int64_t total = 0;
+  for (const SpecMetrics& m : per_spec) total += m.committed;
+  return total;
+}
+
+std::int64_t RunMetrics::TotalMisses() const {
+  std::int64_t total = 0;
+  for (const SpecMetrics& m : per_spec) total += m.deadline_misses;
+  return total;
+}
+
+std::int64_t RunMetrics::TotalRestarts() const {
+  std::int64_t total = 0;
+  for (const SpecMetrics& m : per_spec) total += m.restarts;
+  return total;
+}
+
+double RunMetrics::MissRatio() const {
+  const std::int64_t released = TotalReleased();
+  if (released == 0) return 0.0;
+  return static_cast<double>(TotalMisses()) /
+         static_cast<double>(released);
+}
+
+std::string RunMetrics::DebugString(const TransactionSet& set) const {
+  std::vector<std::string> lines;
+  lines.push_back(StrFormat(
+      "horizon=%lld idle=%lld deadlocks=%lld max_ceiling=%s",
+      static_cast<long long>(horizon), static_cast<long long>(idle_ticks),
+      static_cast<long long>(deadlocks),
+      max_ceiling.DebugString().c_str()));
+  for (SpecId i = 0; i < set.size() &&
+                     static_cast<std::size_t>(i) < per_spec.size();
+       ++i) {
+    const SpecMetrics& m = per_spec[static_cast<std::size_t>(i)];
+    lines.push_back(StrFormat(
+        "%s: released=%lld committed=%lld missed=%lld restarts=%lld "
+        "busy=%lld blocked=%lld effective_block=%lld (max %lld) "
+        "preempted=%lld blocks[ceil=%lld conf=%lld] max_resp=%lld",
+        set.spec(i).name.c_str(), static_cast<long long>(m.released),
+        static_cast<long long>(m.committed),
+        static_cast<long long>(m.deadline_misses),
+        static_cast<long long>(m.restarts),
+        static_cast<long long>(m.busy_ticks),
+        static_cast<long long>(m.blocked_ticks),
+        static_cast<long long>(m.effective_blocking_ticks),
+        static_cast<long long>(m.max_effective_blocking),
+        static_cast<long long>(m.preempted_ticks),
+        static_cast<long long>(m.ceiling_blocks),
+        static_cast<long long>(m.conflict_blocks),
+        static_cast<long long>(m.max_response)));
+  }
+  return Join(lines, "\n");
+}
+
+}  // namespace pcpda

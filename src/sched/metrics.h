@@ -1,0 +1,75 @@
+#ifndef PCPDA_SCHED_METRICS_H_
+#define PCPDA_SCHED_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// Per-spec counters accumulated over one run.
+struct SpecMetrics {
+  std::int64_t released = 0;
+  std::int64_t committed = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t dropped = 0;
+  std::int64_t restarts = 0;
+
+  /// CPU ticks executed by instances of the spec.
+  Tick busy_ticks = 0;
+  /// Ticks an instance spent with a denied lock request.
+  Tick blocked_ticks = 0;
+  /// The paper's "effective blocking": blocked ticks during which a job of
+  /// LOWER base priority occupied the processor.
+  Tick effective_blocking_ticks = 0;
+  /// Max effective blocking experienced by a single instance.
+  Tick max_effective_blocking = 0;
+  /// Ticks released-but-not-running because a higher-running-priority job
+  /// held the CPU.
+  Tick preempted_ticks = 0;
+
+  /// Block events (first tick of each blocking episode) by reason.
+  std::int64_t ceiling_blocks = 0;
+  std::int64_t conflict_blocks = 0;
+
+  Tick max_response = 0;
+  double total_response = 0.0;
+  /// Response time of every committed instance, in commit order.
+  std::vector<Tick> responses;
+
+  double MeanResponse() const {
+    return committed > 0 ? total_response / static_cast<double>(committed)
+                         : 0.0;
+  }
+
+  /// The p-quantile (p in [0, 1]) of the committed response times using
+  /// the nearest-rank method; 0 when nothing committed.
+  Tick ResponsePercentile(double p) const;
+};
+
+/// Whole-run counters plus the per-spec breakdown.
+struct RunMetrics {
+  std::vector<SpecMetrics> per_spec;
+  Tick horizon = 0;
+  Tick idle_ticks = 0;
+  std::int64_t deadlocks = 0;
+  /// The highest ceiling the protocol ever raised (paper's Max_Sysceil).
+  Priority max_ceiling;
+  bool halted_on_deadlock = false;
+  bool halted_on_miss = false;
+
+  std::int64_t TotalReleased() const;
+  std::int64_t TotalCommitted() const;
+  std::int64_t TotalMisses() const;
+  std::int64_t TotalRestarts() const;
+  bool AllDeadlinesMet() const { return TotalMisses() == 0; }
+  double MissRatio() const;
+
+  std::string DebugString(const TransactionSet& set) const;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_SCHED_METRICS_H_

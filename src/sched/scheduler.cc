@@ -1,0 +1,34 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pcpda {
+
+std::vector<Job*> DispatchOrder(
+    const std::vector<Job*>& active,
+    const std::map<JobId, Priority>& running_priorities) {
+  std::vector<Job*> order = active;
+  auto running = [&](const Job* job) {
+    auto it = running_priorities.find(job->id());
+    PCPDA_CHECK_MSG(it != running_priorities.end(),
+                    "active job missing a running priority");
+    return it->second;
+  };
+  std::sort(order.begin(), order.end(), [&](const Job* a, const Job* b) {
+    const Priority ra = running(a);
+    const Priority rb = running(b);
+    if (ra != rb) return ra > rb;
+    if (a->base_priority() != b->base_priority()) {
+      return a->base_priority() > b->base_priority();
+    }
+    if (a->release_time() != b->release_time()) {
+      return a->release_time() < b->release_time();
+    }
+    return a->id() < b->id();
+  });
+  return order;
+}
+
+}  // namespace pcpda

@@ -1,0 +1,23 @@
+#ifndef PCPDA_SCHED_SCHEDULER_H_
+#define PCPDA_SCHED_SCHEDULER_H_
+
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/job.h"
+
+namespace pcpda {
+
+/// Sorts active jobs into dispatch order: descending running priority,
+/// then descending base priority (so a transaction donating its priority
+/// is considered before the blocker that inherited it), then FIFO by
+/// release time, then job id. The first job in this order that can make
+/// progress gets the processor — the paper's priority-driven scheduling.
+std::vector<Job*> DispatchOrder(
+    const std::vector<Job*>& active,
+    const std::map<JobId, Priority>& running_priorities);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_SCHED_SCHEDULER_H_

@@ -1,0 +1,607 @@
+#include "sched/simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "sched/inheritance.h"
+#include "sched/scheduler.h"
+#include "sim/calendar.h"
+
+namespace pcpda {
+
+Simulator::Simulator(const TransactionSet* set, Protocol* protocol,
+                     SimulatorOptions options)
+    : set_(set),
+      protocol_(protocol),
+      options_(options),
+      ceilings_(*set),
+      database_(set->item_count()),
+      lock_table_(set->item_count()) {
+  PCPDA_CHECK(set != nullptr);
+  PCPDA_CHECK(protocol != nullptr);
+}
+
+Simulator::~Simulator() = default;
+
+const Job* Simulator::job(JobId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= jobs_.size()) return nullptr;
+  return jobs_[static_cast<std::size_t>(id)].get();
+}
+
+std::vector<const Job*> Simulator::LiveJobs(JobId except) const {
+  std::vector<const Job*> live;
+  for (const auto& owned : jobs_) {
+    if (owned->active() && owned->id() != except) {
+      live.push_back(owned.get());
+    }
+  }
+  return live;
+}
+
+SpecMetrics& Simulator::metrics_for(SpecId spec) {
+  PCPDA_CHECK(spec >= 0 &&
+              static_cast<std::size_t>(spec) < metrics_.per_spec.size());
+  return metrics_.per_spec[static_cast<std::size_t>(spec)];
+}
+
+std::vector<Job*> Simulator::ActiveJobs() {
+  std::vector<Job*> active;
+  for (const auto& job : jobs_) {
+    if (job->active()) active.push_back(job.get());
+  }
+  return active;
+}
+
+bool Simulator::NeedsLock(const Job& job) const {
+  if (job.BodyDone() || job.step_admitted()) return false;
+  const Step& step = job.current_step();
+  switch (step.kind) {
+    case StepKind::kCompute:
+      return false;
+    case StepKind::kRead:
+      return !lock_table_.HoldsRead(job.id(), step.item) &&
+             !lock_table_.HoldsWrite(job.id(), step.item);
+    case StepKind::kWrite:
+      return !lock_table_.HoldsWrite(job.id(), step.item);
+  }
+  PCPDA_UNREACHABLE("bad StepKind");
+}
+
+LockMode Simulator::NeededMode(const Job& job) const {
+  return job.current_step().kind == StepKind::kRead ? LockMode::kRead
+                                                    : LockMode::kWrite;
+}
+
+void Simulator::ReleaseArrivals() {
+  std::vector<Arrival> due;
+  if (options_.arrival_schedule != nullptr) {
+    due = options_.arrival_schedule->At(tick_);
+  } else {
+    due = ArrivalCalendar(set_).At(tick_);
+  }
+  for (const Arrival& arrival : due) {
+    const Tick rel_deadline = set_->RelativeDeadline(arrival.spec);
+    const Tick deadline =
+        rel_deadline == kNoTick ? kNoTick : tick_ + rel_deadline;
+    const JobId id = static_cast<JobId>(jobs_.size());
+    jobs_.push_back(std::make_unique<Job>(id, set_, arrival.spec,
+                                          arrival.instance, tick_, deadline));
+    ++metrics_for(arrival.spec).released;
+    if (options_.record_trace) {
+      TraceEvent event;
+      event.tick = tick_;
+      event.kind = TraceKind::kArrival;
+      event.job = id;
+      event.spec = arrival.spec;
+      event.instance = arrival.instance;
+      trace_.AddEvent(event);
+    }
+  }
+}
+
+void Simulator::CheckDeadlines() {
+  for (const auto& owned : jobs_) {
+    Job& job = *owned;
+    if (!job.active() || job.deadline_miss_recorded()) continue;
+    if (job.absolute_deadline() == kNoTick ||
+        job.absolute_deadline() > tick_) {
+      continue;
+    }
+    job.set_deadline_miss_recorded();
+    ++metrics_for(job.spec_id()).deadline_misses;
+    if (options_.record_trace) {
+      TraceEvent event;
+      event.tick = job.absolute_deadline();
+      event.kind = TraceKind::kDeadlineMiss;
+      event.job = job.id();
+      event.spec = job.spec_id();
+      event.instance = job.instance();
+      trace_.AddEvent(event);
+    }
+    switch (options_.miss_policy) {
+      case DeadlineMissPolicy::kContinue:
+        break;
+      case DeadlineMissPolicy::kDrop:
+        DropJob(job);
+        break;
+      case DeadlineMissPolicy::kHalt:
+        metrics_.halted_on_miss = true;
+        halted_ = true;
+        return;
+    }
+  }
+}
+
+Job* Simulator::ResolveDispatch() {
+  // Abort applications (HP victims, optimistic self-aborts) restart the
+  // resolution; they always release locks or clear protocol state, so the
+  // bound below only trips on a protocol that aborts without progress.
+  std::size_t abort_rounds = 0;
+  const std::size_t max_abort_rounds = 16 + 4 * jobs_.size();
+  for (;;) {
+    PCPDA_CHECK_MSG(abort_rounds++ <= max_abort_rounds,
+                    "dispatch resolution is not making progress");
+    blocked_now_.clear();
+    granted_decision_.clear();
+
+    std::vector<Job*> active = ActiveJobs();
+    std::map<JobId, Priority> base;
+    for (Job* job : active) base[job->id()] = job->base_priority();
+    // The wait graph persists across ticks (outstanding denied requests
+    // keep donating priority); drop edges of jobs that are gone.
+    for (JobId waiter : wait_graph_.waiters()) {
+      if (!base.contains(waiter)) wait_graph_.ClearWaits(waiter);
+    }
+
+    // Evaluate every outstanding lock request against the protocol. The
+    // locking conditions compare the requester's RUNNING priority
+    // (Section 7 of the paper: "priority ... always refers to ... its
+    // running priority"), and running priorities in turn depend on the
+    // wait-for edges the decisions create — so iterate to a fixpoint.
+    // Each sweep walks jobs in descending running priority, so a waiter's
+    // denial raises its blocker before the blocker is evaluated; the
+    // sweep cap guards against pathological oscillation.
+    std::map<JobId, Priority> running;
+    const std::size_t max_sweeps = 4 * active.size() + 8;
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+      running = ComputeRunningPriorities(
+          base, wait_graph_, protocol_->uses_priority_inheritance());
+      for (Job* job : active) {
+        job->set_running_priority(running.at(job->id()));
+      }
+      bool changed = false;
+      for (Job* job : DispatchOrder(active, running)) {
+        if (!NeedsLock(*job)) {
+          if (wait_graph_.IsWaiting(job->id())) {
+            wait_graph_.ClearWaits(job->id());
+            changed = true;
+          }
+          blocked_now_.erase(job->id());
+          continue;
+        }
+        const Step& step = job->current_step();
+        LockRequest request{job, step.item, NeededMode(*job)};
+        LockDecision decision = protocol_->Decide(request);
+        if (decision.kind == LockDecision::Kind::kBlock) {
+          const std::set<JobId> holders(decision.jobs.begin(),
+                                        decision.jobs.end());
+          if (wait_graph_.HoldersBlocking(job->id()) != holders) {
+            wait_graph_.SetWaits(job->id(), decision.jobs);
+            changed = true;
+          }
+          PendingBlock pb;
+          pb.item = request.item;
+          pb.mode = request.mode;
+          pb.reason = decision.reason;
+          pb.blockers = decision.jobs;
+          pb.note = std::move(decision.note);
+          blocked_now_[job->id()] = std::move(pb);
+        } else {
+          if (wait_graph_.IsWaiting(job->id())) {
+            wait_graph_.ClearWaits(job->id());
+            changed = true;
+          }
+          blocked_now_.erase(job->id());
+          granted_decision_[job->id()] = std::move(decision);
+        }
+        if (changed) break;  // priorities moved: restart the sweep
+      }
+      if (!changed) break;
+    }
+
+    // Dispatch the highest running-priority job that is not blocked.
+    Job* chosen = nullptr;
+    for (Job* job : DispatchOrder(active, running)) {
+      if (!blocked_now_.contains(job->id())) {
+        chosen = job;
+        break;
+      }
+    }
+    if (chosen != nullptr) {
+      auto it = granted_decision_.find(chosen->id());
+      if (it != granted_decision_.end() &&
+          it->second.kind == LockDecision::Kind::kAbortAndGrant) {
+        // Apply the aborts, then re-resolve against the new lock state.
+        for (JobId victim_id : it->second.jobs) {
+          Job* victim = const_cast<Job*>(job(victim_id));
+          PCPDA_CHECK_MSG(victim != nullptr && victim->active(),
+                          "abort victim not active");
+          AbortAndRestart(*victim, it->second.note.empty()
+                                       ? "abort"
+                                       : it->second.note.c_str());
+        }
+        continue;
+      }
+      if (it != granted_decision_.end() &&
+          it->second.kind == LockDecision::Kind::kAbortRequester) {
+        // Optimistic self-abort: restart the requester, then re-resolve.
+        AbortAndRestart(*chosen, it->second.note.empty()
+                                     ? "self-abort"
+                                     : it->second.note.c_str());
+        continue;
+      }
+    }
+    return chosen;
+  }
+}
+
+bool Simulator::HandleOneDeadlock() {
+  auto cycle = wait_graph_.FindCycle();
+  if (!cycle.has_value()) return false;
+  ++metrics_.deadlocks;
+  if (options_.record_trace) {
+    TraceEvent event;
+    event.tick = tick_;
+    event.kind = TraceKind::kDeadlock;
+    event.others = *cycle;
+    if (!cycle->empty()) {
+      const Job* first = job(cycle->front());
+      if (first != nullptr) {
+        event.job = first->id();
+        event.spec = first->spec_id();
+        event.instance = first->instance();
+      }
+    }
+    trace_.AddEvent(event);
+  }
+  if (options_.deadlock_policy == DeadlockPolicy::kHalt) {
+    metrics_.halted_on_deadlock = true;
+    halted_ = true;
+    return true;
+  }
+  // Abort the lowest-base-priority member of the cycle; the caller
+  // re-resolves dispatch against the freed locks.
+  Job* victim = nullptr;
+  for (JobId id : *cycle) {
+    Job* member = const_cast<Job*>(job(id));
+    PCPDA_CHECK(member != nullptr);
+    if (victim == nullptr ||
+        member->base_priority() < victim->base_priority()) {
+      victim = member;
+    }
+  }
+  PCPDA_CHECK(victim != nullptr);
+  AbortAndRestart(*victim, "deadlock-victim");
+  return true;
+}
+
+void Simulator::AdmitStep(Job& job) {
+  PCPDA_CHECK(!job.BodyDone());
+  PCPDA_CHECK(!job.step_admitted());
+  const Step& step = job.current_step();
+  if (step.kind == StepKind::kCompute) {
+    job.set_step_admitted(true);
+    return;
+  }
+  const bool needed_grant = NeedsLock(job);
+  if (needed_grant) {
+    std::string note;
+    auto it = granted_decision_.find(job.id());
+    if (it != granted_decision_.end()) note = it->second.note;
+    if (step.kind == StepKind::kRead) {
+      lock_table_.AcquireRead(job.id(), step.item);
+    } else {
+      lock_table_.AcquireWrite(job.id(), step.item);
+    }
+    if (options_.record_trace) {
+      TraceEvent event;
+      event.tick = tick_;
+      event.kind = TraceKind::kLockGrant;
+      event.job = job.id();
+      event.spec = job.spec_id();
+      event.instance = job.instance();
+      event.item = step.item;
+      event.mode = NeededMode(job);
+      event.note = std::move(note);
+      trace_.AddEvent(event);
+    }
+  }
+  if (step.kind == StepKind::kRead) {
+    // The read takes effect at admission: sample the value (the job's own
+    // workspace first — such reads are local to the transaction).
+    const bool own = job.workspace().Contains(step.item);
+    const Value value =
+        own ? *job.workspace().Get(step.item) : database_.Read(step.item);
+    if (!own) job.RecordRead(step.item);
+    if (options_.record_history) {
+      history_.RecordRead(job.id(), step.item, tick_, seq_++, value, own);
+    }
+  }
+  job.set_step_admitted(true);
+}
+
+void Simulator::CompleteStep(Job& job, const Step& step) {
+  if (step.kind == StepKind::kWrite) {
+    if (protocol_->update_model() == UpdateModel::kWorkspace) {
+      job.workspace().Put(step.item, Value{job.id(), 0});
+    } else {
+      job.RecordUndo(step.item, database_.Read(step.item));
+      database_.Write(step.item, job.id());
+      if (options_.record_history) {
+        history_.RecordWrite(job.id(), step.item, tick_, seq_++);
+      }
+    }
+  }
+  // CCP-style early unlocking once the protocol allows it. Skipped when
+  // the body is done: the commit releases everything anyway.
+  if (job.BodyDone()) return;
+  for (const auto& [item, mode] : protocol_->EarlyReleases(job)) {
+    lock_table_.Release(job.id(), item, mode);
+    if (options_.record_trace) {
+      TraceEvent event;
+      event.tick = tick_;
+      event.kind = TraceKind::kEarlyRelease;
+      event.job = job.id();
+      event.spec = job.spec_id();
+      event.instance = job.instance();
+      event.item = item;
+      event.mode = mode;
+      trace_.AddEvent(event);
+    }
+  }
+}
+
+void Simulator::Commit(Job& job) {
+  PCPDA_CHECK(job.BodyDone());
+  // Forward validation (optimistic protocols): abort the victims the
+  // protocol names before the commit takes effect.
+  for (JobId victim_id : protocol_->CommitVictims(job)) {
+    Job* victim = const_cast<Job*>(this->job(victim_id));
+    PCPDA_CHECK_MSG(victim != nullptr && victim->active(),
+                    "commit victim not active");
+    PCPDA_CHECK_MSG(victim->id() != job.id(),
+                    "a committing job cannot be its own victim");
+    AbortAndRestart(*victim, "validation");
+  }
+  // Deferred updates reach the database atomically at commit.
+  if (protocol_->update_model() == UpdateModel::kWorkspace) {
+    for (const auto& [item, unused] : job.workspace().writes()) {
+      database_.Write(item, job.id());
+      if (options_.record_history) {
+        history_.RecordWrite(job.id(), item, tick_, seq_++);
+      }
+    }
+  }
+  lock_table_.ReleaseAll(job.id());
+  const Tick commit_time = tick_ + 1;
+  if (options_.record_history) {
+    history_.RecordCommit(job.id(), job.spec_id(), job.instance(),
+                          commit_time, seq_++);
+  }
+  if (options_.record_trace) {
+    TraceEvent event;
+    event.tick = commit_time;
+    event.kind = TraceKind::kCommit;
+    event.job = job.id();
+    event.spec = job.spec_id();
+    event.instance = job.instance();
+    trace_.AddEvent(event);
+  }
+  SpecMetrics& m = metrics_for(job.spec_id());
+  ++m.committed;
+  const Tick response = commit_time - job.release_time();
+  m.max_response = std::max(m.max_response, response);
+  m.total_response += static_cast<double>(response);
+  m.responses.push_back(response);
+  auto eb = effective_blocking_by_job_.find(job.id());
+  if (eb != effective_blocking_by_job_.end()) {
+    m.max_effective_blocking =
+        std::max(m.max_effective_blocking, eb->second);
+    effective_blocking_by_job_.erase(eb);
+  }
+  job.MarkCommitted(commit_time);
+  protocol_->OnCommitApplied(job);
+}
+
+void Simulator::AbortAndRestart(Job& victim, const char* why) {
+  // Undo in-place writes (newest pre-images are irrelevant: the undo log
+  // keeps the value from before the job's first write of each item).
+  for (const auto& [item, before] : victim.undo_log()) {
+    database_.Restore(item, before);
+  }
+  lock_table_.ReleaseAll(victim.id());
+  history_.DiscardPending(victim.id());
+  ++metrics_for(victim.spec_id()).restarts;
+  if (options_.record_trace) {
+    TraceEvent event;
+    event.tick = tick_;
+    event.kind = TraceKind::kRestart;
+    event.job = victim.id();
+    event.spec = victim.spec_id();
+    event.instance = victim.instance();
+    event.note = why;
+    trace_.AddEvent(event);
+  }
+  victim.ResetForRestart();
+  protocol_->OnAbortApplied(victim);
+}
+
+void Simulator::DropJob(Job& job) {
+  for (const auto& [item, before] : job.undo_log()) {
+    database_.Restore(item, before);
+  }
+  lock_table_.ReleaseAll(job.id());
+  history_.DiscardPending(job.id());
+  ++metrics_for(job.spec_id()).dropped;
+  if (options_.record_trace) {
+    TraceEvent event;
+    event.tick = tick_;
+    event.kind = TraceKind::kDrop;
+    event.job = job.id();
+    event.spec = job.spec_id();
+    event.instance = job.instance();
+    trace_.AddEvent(event);
+  }
+  auto eb = effective_blocking_by_job_.find(job.id());
+  if (eb != effective_blocking_by_job_.end()) {
+    SpecMetrics& m = metrics_for(job.spec_id());
+    m.max_effective_blocking =
+        std::max(m.max_effective_blocking, eb->second);
+    effective_blocking_by_job_.erase(eb);
+  }
+  job.MarkDropped();
+  protocol_->OnAbortApplied(job);
+}
+
+void Simulator::ExecuteTick(Job& job) {
+  if (!job.step_admitted()) AdmitStep(job);
+  const Step step = job.current_step();
+  const bool step_done = job.ExecuteTick();
+  metrics_for(job.spec_id()).busy_ticks += 1;
+  if (step_done) {
+    CompleteStep(job, step);
+    if (job.BodyDone()) Commit(job);
+  }
+}
+
+void Simulator::RecordTick(const Job* runner, StepKind runner_kind) {
+  // Blocking/preemption accounting.
+  std::map<JobId, std::string> blocked_ids;
+  for (const auto& [id, pb] : blocked_now_) {
+    const Job* blocked = job(id);
+    PCPDA_CHECK(blocked != nullptr);
+    blocked_ids.emplace(id, pb.note);
+    SpecMetrics& m = metrics_for(blocked->spec_id());
+    ++m.blocked_ticks;
+    if (runner != nullptr &&
+        runner->base_priority() < blocked->base_priority()) {
+      ++m.effective_blocking_ticks;
+      ++effective_blocking_by_job_[id];
+    }
+    const auto prev = blocked_prev_.find(id);
+    const bool new_episode = prev == blocked_prev_.end();
+    if (new_episode || prev->second != pb.note) {
+      // New blocking episode, or the denial reason changed mid-episode
+      // (e.g. a ceiling block turning into a wr-guard conflict).
+      if (new_episode) {
+        if (pb.reason == BlockReason::kCeiling) {
+          ++m.ceiling_blocks;
+        } else {
+          ++m.conflict_blocks;
+        }
+      }
+      if (options_.record_trace) {
+        TraceEvent event;
+        event.tick = tick_;
+        event.kind = TraceKind::kBlock;
+        event.job = id;
+        event.spec = blocked->spec_id();
+        event.instance = blocked->instance();
+        event.item = pb.item;
+        event.mode = pb.mode;
+        event.reason = pb.reason;
+        event.others = pb.blockers;
+        event.note = pb.note;
+        trace_.AddEvent(event);
+      }
+    }
+  }
+  blocked_prev_ = std::move(blocked_ids);
+  for (const auto& owned : jobs_) {
+    const Job& j = *owned;
+    if (!j.active() || (runner != nullptr && j.id() == runner->id())) {
+      continue;
+    }
+    if (!blocked_now_.contains(j.id())) {
+      ++metrics_for(j.spec_id()).preempted_ticks;
+    }
+  }
+
+  const Priority ceiling = protocol_->CurrentCeiling();
+  metrics_.max_ceiling = Max(metrics_.max_ceiling, ceiling);
+
+  if (!options_.record_trace) return;
+  TickRecord record;
+  record.tick = tick_;
+  record.ceiling = ceiling;
+  if (runner != nullptr) {
+    record.running_job = runner->id();
+    record.running_spec = runner->spec_id();
+    record.running_kind = runner_kind;
+  }
+  for (const auto& [id, pb] : blocked_now_) {
+    const Job* blocked = job(id);
+    BlockedSample sample;
+    sample.job = id;
+    sample.spec = blocked->spec_id();
+    sample.item = pb.item;
+    sample.mode = pb.mode;
+    sample.reason = pb.reason;
+    sample.blockers = pb.blockers;
+    record.blocked.push_back(std::move(sample));
+  }
+  trace_.AddTick(std::move(record));
+}
+
+SimResult Simulator::Run() {
+  PCPDA_CHECK_MSG(!ran_, "Simulator::Run may be called once");
+  ran_ = true;
+  SimResult result;
+  if (options_.horizon <= 0) {
+    result.status = Status::InvalidArgument("horizon must be positive");
+    return result;
+  }
+  protocol_->Attach(this);
+  metrics_.per_spec.assign(static_cast<std::size_t>(set_->size()),
+                           SpecMetrics{});
+  metrics_.horizon = options_.horizon;
+
+  for (tick_ = 0; tick_ < options_.horizon && !halted_; ++tick_) {
+    ReleaseArrivals();
+    CheckDeadlines();
+    if (halted_) break;
+    Job* runner = ResolveDispatch();
+    while (HandleOneDeadlock()) {
+      if (halted_) break;
+      runner = ResolveDispatch();
+    }
+    if (halted_) break;
+    const StepKind runner_kind =
+        (runner != nullptr && !runner->BodyDone())
+            ? runner->current_step().kind
+            : StepKind::kCompute;
+    if (runner != nullptr) {
+      ExecuteTick(*runner);
+    } else {
+      ++metrics_.idle_ticks;
+    }
+    RecordTick(runner, runner_kind);
+  }
+
+  // Fold leftover per-job blocking maxima into the per-spec metrics.
+  for (const auto& [id, ticks] : effective_blocking_by_job_) {
+    const Job* j = job(id);
+    if (j == nullptr) continue;
+    SpecMetrics& m = metrics_for(j->spec_id());
+    m.max_effective_blocking = std::max(m.max_effective_blocking, ticks);
+  }
+
+  result.metrics = std::move(metrics_);
+  result.trace = std::move(trace_);
+  result.history = std::move(history_);
+  result.deadlock_detected = result.metrics.deadlocks > 0;
+  return result;
+}
+
+}  // namespace pcpda

@@ -1,0 +1,164 @@
+#ifndef PCPDA_SCHED_SIMULATOR_H_
+#define PCPDA_SCHED_SIMULATOR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "db/ceilings.h"
+#include "db/database.h"
+#include "db/lock_table.h"
+#include "history/history.h"
+#include "protocols/protocol.h"
+#include "sched/metrics.h"
+#include "sched/wait_graph.h"
+#include "sim/arrival_schedule.h"
+#include "trace/trace.h"
+#include "txn/job.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// What to do when a job misses its deadline.
+enum class DeadlineMissPolicy : std::uint8_t {
+  /// Record the miss and let the job finish (default; keeps the paper's
+  /// figures intact, e.g. Figure 3 where T1 runs past its deadline).
+  kContinue,
+  /// Record the miss and drop the job (release its locks, undo in-place
+  /// writes).
+  kDrop,
+  /// Record the miss and halt the run.
+  kHalt,
+};
+
+/// What to do when the wait-for graph contains a cycle.
+enum class DeadlockPolicy : std::uint8_t {
+  /// Record the deadlock and halt (ceiling protocols must never reach
+  /// this; 2PL-PI can).
+  kHalt,
+  /// Abort (restart) the lowest-base-priority member of the cycle and
+  /// continue.
+  kAbortLowestPriority,
+};
+
+struct SimulatorOptions {
+  /// Simulate ticks [0, horizon). Required > 0.
+  Tick horizon = 0;
+  DeadlineMissPolicy miss_policy = DeadlineMissPolicy::kContinue;
+  DeadlockPolicy deadlock_policy = DeadlockPolicy::kHalt;
+  /// Record the per-tick schedule and events (needed by Gantt/figures).
+  bool record_trace = true;
+  /// Record the operation history (needed by the serializability checker).
+  bool record_history = true;
+  /// Release schedule override (sporadic/Poisson/trace arrivals). When
+  /// null, releases follow the specs' periodic calendar — the paper's
+  /// model. Must outlive the simulator.
+  const ArrivalSchedule* arrival_schedule = nullptr;
+};
+
+/// Outcome of one run.
+struct SimResult {
+  Status status;  // non-OK only for configuration errors
+  RunMetrics metrics;
+  Trace trace;
+  History history;
+  bool deadlock_detected = false;
+};
+
+/// The single-processor, memory-resident-database, priority-driven
+/// transaction scheduler of the paper, parameterized by a concurrency
+/// control protocol. Discrete time; each tick the highest running-priority
+/// job that can make progress executes (Section 5).
+class Simulator : public SimView {
+ public:
+  /// `set` and `protocol` must outlive the simulator.
+  Simulator(const TransactionSet* set, Protocol* protocol,
+            SimulatorOptions options);
+  ~Simulator() override;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Runs the full simulation and returns the result. Call once.
+  SimResult Run();
+
+  // --- SimView ------------------------------------------------------------
+  const TransactionSet& set() const override { return *set_; }
+  const StaticCeilings& ceilings() const override { return ceilings_; }
+  const LockTable& locks() const override { return lock_table_; }
+  const Database& database() const override { return database_; }
+  const Job* job(JobId id) const override;
+  Tick now() const override { return tick_; }
+  std::vector<const Job*> LiveJobs(JobId except) const override;
+
+ private:
+  struct PendingBlock {
+    ItemId item = kInvalidItem;
+    LockMode mode = LockMode::kRead;
+    BlockReason reason = BlockReason::kNone;
+    std::vector<JobId> blockers;
+    std::string note;
+  };
+
+  void ReleaseArrivals();
+  void CheckDeadlines();
+  /// Resolves this tick's dispatch: rebuilds blocking edges to a fixpoint
+  /// and picks the runner. Returns the chosen job (nullptr if idle) and
+  /// fills blocked_now_.
+  Job* ResolveDispatch();
+  /// Handles at most one wait-for cycle per policy. Returns true when a
+  /// cycle was found (the caller must re-resolve dispatch unless the run
+  /// halted).
+  bool HandleOneDeadlock();
+  /// Grants the pending lock for `job`'s current step, recording effects.
+  void AdmitStep(Job& job);
+  /// Runs one tick of `job`, handling step completion and commit.
+  void ExecuteTick(Job& job);
+  void CompleteStep(Job& job, const Step& step);
+  void Commit(Job& job);
+  /// Aborts a job (2PL-HP victim or deadlock victim): undoes in-place
+  /// writes, releases locks, restarts from the first step.
+  void AbortAndRestart(Job& victim, const char* why);
+  void DropJob(Job& job);
+  void RecordTick(const Job* runner, StepKind runner_kind);
+  std::vector<Job*> ActiveJobs();
+  SpecMetrics& metrics_for(SpecId spec);
+
+  /// True when the job's current step requires a lock it does not hold.
+  bool NeedsLock(const Job& job) const;
+  LockMode NeededMode(const Job& job) const;
+
+  const TransactionSet* set_;
+  Protocol* protocol_;
+  SimulatorOptions options_;
+
+  StaticCeilings ceilings_;
+  Database database_;
+  LockTable lock_table_;
+  WaitGraph wait_graph_;
+  Trace trace_;
+  History history_;
+  RunMetrics metrics_;
+
+  Tick tick_ = 0;
+  std::int64_t seq_ = 0;
+  bool halted_ = false;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  /// Jobs blocked this tick (job id -> details), rebuilt each tick.
+  std::map<JobId, PendingBlock> blocked_now_;
+  /// Block annotation per job during the previous tick (for the kBlock
+  /// edge trigger: a new episode OR a changed reason re-traces) and
+  /// per-job effective-blocking accumulation.
+  std::map<JobId, std::string> blocked_prev_;
+  std::map<JobId, Tick> effective_blocking_by_job_;
+  /// The decision produced for the runner during dispatch resolution.
+  std::map<JobId, LockDecision> granted_decision_;
+  bool ran_ = false;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_SCHED_SIMULATOR_H_

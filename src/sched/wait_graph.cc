@@ -1,0 +1,103 @@
+#include "sched/wait_graph.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace pcpda {
+
+const std::set<JobId> WaitGraph::kNoHolders;
+
+void WaitGraph::Clear() { edges_.clear(); }
+
+void WaitGraph::SetWaits(JobId waiter, std::vector<JobId> holders) {
+  if (holders.empty()) {
+    edges_.erase(waiter);
+    return;
+  }
+  edges_[waiter] = std::set<JobId>(holders.begin(), holders.end());
+}
+
+void WaitGraph::ClearWaits(JobId waiter) { edges_.erase(waiter); }
+
+bool WaitGraph::IsWaiting(JobId waiter) const {
+  return edges_.contains(waiter);
+}
+
+const std::set<JobId>& WaitGraph::HoldersBlocking(JobId waiter) const {
+  auto it = edges_.find(waiter);
+  return it == edges_.end() ? kNoHolders : it->second;
+}
+
+std::vector<JobId> WaitGraph::waiters() const {
+  std::vector<JobId> out;
+  out.reserve(edges_.size());
+  for (const auto& [waiter, holders] : edges_) out.push_back(waiter);
+  return out;
+}
+
+std::optional<std::vector<JobId>> WaitGraph::FindCycle() const {
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::map<JobId, Color> color;
+  for (const auto& [waiter, holders] : edges_) {
+    color.emplace(waiter, Color::kWhite);
+    for (JobId h : holders) color.emplace(h, Color::kWhite);
+  }
+  std::vector<JobId> path;
+  // Recursive DFS expressed iteratively via an explicit stack of
+  // (node, next successor index).
+  auto successors = [this](JobId node) -> const std::set<JobId>& {
+    auto it = edges_.find(node);
+    return it == edges_.end() ? kNoHolders : it->second;
+  };
+  for (const auto& [root, unused] : edges_) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<std::pair<JobId, std::set<JobId>::const_iterator>> stack;
+    color[root] = Color::kGray;
+    stack.emplace_back(root, successors(root).begin());
+    path.assign(1, root);
+    while (!stack.empty()) {
+      auto& [node, it] = stack.back();
+      if (it == successors(node).end()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      const JobId next = *it;
+      ++it;
+      if (color[next] == Color::kGray) {
+        // Cycle: slice the current path from `next` onwards.
+        auto start = std::find(path.begin(), path.end(), next);
+        std::vector<JobId> cycle(start, path.end());
+        // Rotate so the smallest id comes first (stable for tests).
+        auto smallest = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), smallest, cycle.end());
+        return cycle;
+      }
+      if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        stack.emplace_back(next, successors(next).begin());
+        path.push_back(next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string WaitGraph::DebugString() const {
+  std::vector<std::string> lines;
+  for (const auto& [waiter, holders] : edges_) {
+    std::vector<std::string> ids;
+    ids.reserve(holders.size());
+    for (JobId h : holders) {
+      ids.push_back(StrFormat("%lld", static_cast<long long>(h)));
+    }
+    lines.push_back(StrFormat("%lld waits-for {%s}",
+                              static_cast<long long>(waiter),
+                              Join(ids, ",").c_str()));
+  }
+  return lines.empty() ? "(no waits)" : Join(lines, "\n");
+}
+
+}  // namespace pcpda

@@ -1,0 +1,44 @@
+#ifndef PCPDA_SCHED_WAIT_GRAPH_H_
+#define PCPDA_SCHED_WAIT_GRAPH_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pcpda {
+
+/// The wait-for graph: an edge waiter -> holder means the waiter's lock
+/// request is currently denied because of the holder. Rebuilt every tick by
+/// the simulator; a cycle is a deadlock.
+class WaitGraph {
+ public:
+  void Clear();
+
+  /// Replaces the waiter's outgoing edges.
+  void SetWaits(JobId waiter, std::vector<JobId> holders);
+  void ClearWaits(JobId waiter);
+
+  bool IsWaiting(JobId waiter) const;
+  const std::set<JobId>& HoldersBlocking(JobId waiter) const;
+  /// Jobs currently waiting (have outgoing edges).
+  std::vector<JobId> waiters() const;
+
+  /// Finds a wait-for cycle if one exists. The returned cycle lists each
+  /// member once, starting from the smallest job id in the cycle.
+  std::optional<std::vector<JobId>> FindCycle() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::map<JobId, std::set<JobId>> edges_;
+
+  static const std::set<JobId> kNoHolders;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_SCHED_WAIT_GRAPH_H_

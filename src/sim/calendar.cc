@@ -1,0 +1,58 @@
+#include "sim/calendar.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pcpda {
+
+ArrivalCalendar::ArrivalCalendar(const TransactionSet* set) : set_(set) {
+  PCPDA_CHECK(set != nullptr);
+}
+
+std::vector<Arrival> ArrivalCalendar::Before(Tick horizon) const {
+  std::vector<Arrival> arrivals;
+  for (SpecId i = 0; i < set_->size(); ++i) {
+    const TransactionSpec& spec = set_->spec(i);
+    if (spec.period <= 0) {
+      if (spec.offset < horizon) arrivals.push_back({spec.offset, i, 0});
+      continue;
+    }
+    int instance = 0;
+    for (Tick t = spec.offset; t < horizon; t += spec.period) {
+      arrivals.push_back({t, i, instance++});
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     if (a.tick != b.tick) return a.tick < b.tick;
+                     return a.spec < b.spec;
+                   });
+  return arrivals;
+}
+
+std::vector<Arrival> ArrivalCalendar::At(Tick tick) const {
+  std::vector<Arrival> arrivals;
+  for (SpecId i = 0; i < set_->size(); ++i) {
+    const TransactionSpec& spec = set_->spec(i);
+    if (spec.period <= 0) {
+      if (spec.offset == tick) arrivals.push_back({tick, i, 0});
+      continue;
+    }
+    if (tick >= spec.offset && (tick - spec.offset) % spec.period == 0) {
+      arrivals.push_back(
+          {tick, i, static_cast<int>((tick - spec.offset) / spec.period)});
+    }
+  }
+  return arrivals;
+}
+
+int ArrivalCalendar::CountBefore(SpecId spec_id, Tick horizon) const {
+  PCPDA_CHECK(spec_id >= 0 && spec_id < set_->size());
+  const TransactionSpec& spec = set_->spec(spec_id);
+  if (spec.offset >= horizon) return 0;
+  if (spec.period <= 0) return 1;
+  return static_cast<int>((horizon - 1 - spec.offset) / spec.period) + 1;
+}
+
+}  // namespace pcpda

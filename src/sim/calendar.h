@@ -1,0 +1,44 @@
+#ifndef PCPDA_SIM_CALENDAR_H_
+#define PCPDA_SIM_CALENDAR_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// A scheduled release of one job.
+struct Arrival {
+  Tick tick = 0;
+  SpecId spec = kInvalidSpec;
+  /// 0-based instance index of the spec.
+  int instance = 0;
+
+  friend bool operator==(const Arrival&, const Arrival&) = default;
+};
+
+/// Generates the release calendar of a transaction set: periodic specs
+/// release at offset, offset+period, ...; one-shot specs release once at
+/// their offset. Arrivals are produced in (tick, spec) order — at equal
+/// ticks the higher-priority spec (smaller id) first.
+class ArrivalCalendar {
+ public:
+  explicit ArrivalCalendar(const TransactionSet* set);
+
+  /// All arrivals with tick < horizon.
+  std::vector<Arrival> Before(Tick horizon) const;
+
+  /// Arrivals at exactly `tick` (ordered by spec id).
+  std::vector<Arrival> At(Tick tick) const;
+
+  /// Number of instances of `spec` released strictly before `horizon`.
+  int CountBefore(SpecId spec, Tick horizon) const;
+
+ private:
+  const TransactionSet* set_;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_SIM_CALENDAR_H_

@@ -1,0 +1,25 @@
+#ifndef PCPDA_TRACE_CSV_H_
+#define PCPDA_TRACE_CSV_H_
+
+#include <string>
+
+#include "sched/metrics.h"
+#include "trace/trace.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// Discrete events as CSV: tick,kind,job,spec,instance,item,mode,reason,
+/// others,note.
+std::string TraceEventsCsv(const Trace& trace);
+
+/// Per-tick schedule as CSV: tick,running_spec,running_kind,ceiling_level,
+/// blocked_specs.
+std::string ScheduleCsv(const TransactionSet& set, const Trace& trace);
+
+/// Per-spec metrics as CSV.
+std::string MetricsCsv(const TransactionSet& set, const RunMetrics& metrics);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_TRACE_CSV_H_

@@ -1,0 +1,37 @@
+#ifndef PCPDA_TRACE_GANTT_H_
+#define PCPDA_TRACE_GANTT_H_
+
+#include <string>
+
+#include "trace/trace.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// Options for the ASCII Gantt chart.
+struct GanttOptions {
+  /// Show the Max_Sysceil row (the paper's dotted line in Figs 4-5).
+  bool show_ceiling = true;
+  /// Legend under the chart.
+  bool show_legend = true;
+};
+
+/// Renders the run as one row per transaction over the simulated ticks, in
+/// the style of the paper's figures:
+///
+///   r/w/#  executing a read / write / compute tick
+///   B      blocked (outstanding denied lock request)
+///   .      released but preempted
+///   ^      arrival (when otherwise idle at that tick)
+///   C      commit (the tick after the last executed one)
+///   !      deadline miss
+///
+/// The ceiling row prints the Max_Sysceil level as the index of the
+/// transaction with that priority ('1' = P1), or '-' when nothing is
+/// raised.
+std::string RenderGantt(const TransactionSet& set, const Trace& trace,
+                        const GanttOptions& options = {});
+
+}  // namespace pcpda
+
+#endif  // PCPDA_TRACE_GANTT_H_

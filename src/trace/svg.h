@@ -1,0 +1,34 @@
+#ifndef PCPDA_TRACE_SVG_H_
+#define PCPDA_TRACE_SVG_H_
+
+#include <string>
+
+#include "trace/trace.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// Options for the SVG Gantt renderer.
+struct SvgOptions {
+  /// Pixels per tick.
+  int tick_width = 14;
+  /// Pixels per transaction row.
+  int row_height = 26;
+  /// Draw the Max_Sysceil step line under the rows (the paper's dotted
+  /// line in Figures 4-5).
+  bool show_ceiling = true;
+  /// Chart title ("" = none).
+  std::string title;
+};
+
+/// Renders the run as a publication-style SVG Gantt chart: one row per
+/// transaction with colored execution segments (read/write/compute),
+/// hatched blocking segments, arrival/commit/deadline-miss markers, a tick
+/// axis, and optionally the system-ceiling step line. Self-contained SVG
+/// (inline styles, no external fonts).
+std::string RenderSvg(const TransactionSet& set, const Trace& trace,
+                      const SvgOptions& options = {});
+
+}  // namespace pcpda
+
+#endif  // PCPDA_TRACE_SVG_H_

@@ -1,0 +1,127 @@
+#include "trace/trace.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pcpda {
+
+const char* ToString(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kArrival:
+      return "arrival";
+    case TraceKind::kLockGrant:
+      return "lock-grant";
+    case TraceKind::kBlock:
+      return "block";
+    case TraceKind::kEarlyRelease:
+      return "early-release";
+    case TraceKind::kCommit:
+      return "commit";
+    case TraceKind::kRestart:
+      return "restart";
+    case TraceKind::kDeadlineMiss:
+      return "deadline-miss";
+    case TraceKind::kDeadlock:
+      return "deadlock";
+    case TraceKind::kDrop:
+      return "drop";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::DebugString() const {
+  std::string out =
+      StrFormat("t=%lld %s job=%lld spec=%d", static_cast<long long>(tick),
+                pcpda::ToString(kind), static_cast<long long>(job), spec);
+  if (item != kInvalidItem) {
+    out += StrFormat(" item=d%d mode=%s", item, pcpda::ToString(mode));
+  }
+  if (reason != BlockReason::kNone) {
+    out += StrFormat(" reason=%s", pcpda::ToString(reason));
+  }
+  if (!others.empty()) {
+    std::vector<std::string> ids;
+    ids.reserve(others.size());
+    for (JobId j : others) {
+      ids.push_back(StrFormat("%lld", static_cast<long long>(j)));
+    }
+    out += " others=[" + Join(ids, ",") + "]";
+  }
+  if (!note.empty()) out += " note=" + note;
+  return out;
+}
+
+void Trace::AddEvent(TraceEvent event) { events_.push_back(std::move(event)); }
+
+void Trace::AddTick(TickRecord record) {
+  PCPDA_CHECK(ticks_.empty() || ticks_.back().tick + 1 == record.tick);
+  ticks_.push_back(std::move(record));
+}
+
+std::vector<TraceEvent> Trace::EventsOfKind(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Trace::EventsOfKind(TraceKind kind,
+                                            SpecId spec) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind && e.spec == spec) out.push_back(e);
+  }
+  return out;
+}
+
+std::optional<TraceEvent> Trace::FirstEvent(TraceKind kind,
+                                            JobId job) const {
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind && e.job == job) return e;
+  }
+  return std::nullopt;
+}
+
+SpecId Trace::RunningSpecAt(Tick tick) const {
+  if (tick < 0 || static_cast<std::size_t>(tick) >= ticks_.size()) {
+    return kInvalidSpec;
+  }
+  return ticks_[static_cast<std::size_t>(tick)].running_spec;
+}
+
+Tick Trace::RunningTicks(SpecId spec) const {
+  Tick total = 0;
+  for (const TickRecord& r : ticks_) {
+    if (r.running_spec == spec) ++total;
+  }
+  return total;
+}
+
+Tick Trace::BlockedTicks(JobId job) const {
+  Tick total = 0;
+  for (const TickRecord& r : ticks_) {
+    for (const BlockedSample& b : r.blocked) {
+      if (b.job == job) {
+        ++total;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+Priority Trace::MaxCeiling() const {
+  Priority max = Priority::Dummy();
+  for (const TickRecord& r : ticks_) max = Max(max, r.ceiling);
+  return max;
+}
+
+std::string Trace::DebugString() const {
+  std::vector<std::string> lines;
+  lines.reserve(events_.size());
+  for (const TraceEvent& e : events_) lines.push_back(e.DebugString());
+  return Join(lines, "\n");
+}
+
+}  // namespace pcpda

@@ -1,0 +1,105 @@
+#ifndef PCPDA_TRACE_TRACE_H_
+#define PCPDA_TRACE_TRACE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/step.h"
+
+namespace pcpda {
+
+/// Discrete simulator events.
+enum class TraceKind : std::uint8_t {
+  kArrival,
+  kLockGrant,
+  /// First tick a job becomes blocked on a request (re-issued denials of
+  /// the same request are not re-traced).
+  kBlock,
+  kEarlyRelease,  // CCP unlocking before commit
+  kCommit,
+  kRestart,       // 2PL-HP abort / deadlock-resolution victim
+  kDeadlineMiss,
+  kDeadlock,
+  kDrop,          // job dropped by the deadline-miss policy
+};
+
+const char* ToString(TraceKind kind);
+
+/// One discrete event.
+struct TraceEvent {
+  Tick tick = 0;
+  TraceKind kind = TraceKind::kArrival;
+  JobId job = kInvalidJob;
+  SpecId spec = kInvalidSpec;
+  int instance = 0;
+  ItemId item = kInvalidItem;
+  LockMode mode = LockMode::kRead;
+  BlockReason reason = BlockReason::kNone;
+  /// Blockers (kBlock), deadlock cycle members (kDeadlock), or victims.
+  std::vector<JobId> others;
+  /// Free-form annotation, e.g. the locking condition that granted ("LC2").
+  std::string note;
+
+  std::string DebugString() const;
+};
+
+/// A job observed blocked at some tick.
+struct BlockedSample {
+  JobId job = kInvalidJob;
+  SpecId spec = kInvalidSpec;
+  ItemId item = kInvalidItem;
+  LockMode mode = LockMode::kRead;
+  BlockReason reason = BlockReason::kNone;
+  std::vector<JobId> blockers;
+};
+
+/// The processor state during one tick [tick, tick+1).
+struct TickRecord {
+  Tick tick = 0;
+  JobId running_job = kInvalidJob;    // kInvalidJob => idle
+  SpecId running_spec = kInvalidSpec;
+  StepKind running_kind = StepKind::kCompute;
+  /// The protocol's current maximum raised ceiling (the paper's
+  /// Max_Sysceil dotted line); dummy when nothing is raised.
+  Priority ceiling;
+  std::vector<BlockedSample> blocked;
+};
+
+/// Full record of one simulation run: the per-tick schedule plus discrete
+/// events, with query helpers used by tests and the Gantt renderer.
+class Trace {
+ public:
+  void AddEvent(TraceEvent event);
+  void AddTick(TickRecord record);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<TickRecord>& ticks() const { return ticks_; }
+
+  /// Events of one kind, in order.
+  std::vector<TraceEvent> EventsOfKind(TraceKind kind) const;
+  /// Events of one kind for one spec.
+  std::vector<TraceEvent> EventsOfKind(TraceKind kind, SpecId spec) const;
+  /// The first event of `kind` for `job`, if any.
+  std::optional<TraceEvent> FirstEvent(TraceKind kind, JobId job) const;
+
+  /// The spec running at `tick` (kInvalidSpec if idle or out of range).
+  SpecId RunningSpecAt(Tick tick) const;
+  /// Ticks during which `spec` was running.
+  Tick RunningTicks(SpecId spec) const;
+  /// Ticks during which `job` appears blocked.
+  Tick BlockedTicks(JobId job) const;
+  /// Max ceiling level observed over the run (the paper's Max_Sysceil).
+  Priority MaxCeiling() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<TickRecord> ticks_;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_TRACE_TRACE_H_

@@ -1,0 +1,49 @@
+#ifndef PCPDA_TXN_STEP_H_
+#define PCPDA_TXN_STEP_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace pcpda {
+
+/// What one step of a transaction body does.
+enum class StepKind : std::uint8_t {
+  /// Pure computation; consumes CPU, touches no data item.
+  kCompute,
+  /// Reads a data item. Acquires a read lock before the step's first tick.
+  kRead,
+  /// Writes a data item. Acquires a write lock before the step's first
+  /// tick. Under update-in-workspace the value reaches the database at
+  /// commit; under update-in-place it is applied when the step completes.
+  kWrite,
+};
+
+/// One step of a transaction body. Passive data; invariants are validated
+/// by TransactionSet::Create.
+struct Step {
+  StepKind kind = StepKind::kCompute;
+  ItemId item = kInvalidItem;
+  /// CPU ticks the step consumes once it is allowed to run (>= 1). The
+  /// paper's worked examples use 1 tick per operation.
+  Tick duration = 1;
+
+  std::string DebugString() const;
+
+  friend bool operator==(const Step&, const Step&) = default;
+};
+
+/// Convenience constructors mirroring the paper's Read_i(x)/Write_i(x).
+inline Step Compute(Tick duration) {
+  return Step{StepKind::kCompute, kInvalidItem, duration};
+}
+inline Step Read(ItemId item, Tick duration = 1) {
+  return Step{StepKind::kRead, item, duration};
+}
+inline Step Write(ItemId item, Tick duration = 1) {
+  return Step{StepKind::kWrite, item, duration};
+}
+
+}  // namespace pcpda
+
+#endif  // PCPDA_TXN_STEP_H_

@@ -1,0 +1,19 @@
+#include "txn/workspace.h"
+
+namespace pcpda {
+
+void Workspace::Put(ItemId item, Value value) { writes_[item] = value; }
+
+std::optional<Value> Workspace::Get(ItemId item) const {
+  auto it = writes_.find(item);
+  if (it == writes_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Workspace::Contains(ItemId item) const {
+  return writes_.contains(item);
+}
+
+void Workspace::Clear() { writes_.clear(); }
+
+}  // namespace pcpda

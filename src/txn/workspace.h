@@ -1,0 +1,40 @@
+#ifndef PCPDA_TXN_WORKSPACE_H_
+#define PCPDA_TXN_WORKSPACE_H_
+
+#include <map>
+#include <optional>
+
+#include "common/types.h"
+#include "db/value.h"
+
+namespace pcpda {
+
+/// A transaction's private workspace (the update-in-workspace model of
+/// Section 4 of the paper). Writes are buffered here during execution and
+/// reach the database only at commit; the owning transaction's own reads
+/// see the workspace first.
+class Workspace {
+ public:
+  /// Buffers a write of `value` to `item`, replacing any earlier buffered
+  /// write of the same item.
+  void Put(ItemId item, Value value);
+
+  /// The buffered value for `item`, if the transaction has written it.
+  std::optional<Value> Get(ItemId item) const;
+
+  bool Contains(ItemId item) const;
+  bool empty() const { return writes_.empty(); }
+  std::size_t size() const { return writes_.size(); }
+
+  /// Buffered writes in item order (deterministic commit application).
+  const std::map<ItemId, Value>& writes() const { return writes_; }
+
+  void Clear();
+
+ private:
+  std::map<ItemId, Value> writes_;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_TXN_WORKSPACE_H_

@@ -1,0 +1,92 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace pcpda {
+
+std::vector<double> UUniFast(int n, double total, Rng& rng) {
+  PCPDA_CHECK(n >= 1);
+  std::vector<double> utilizations;
+  utilizations.reserve(static_cast<std::size_t>(n));
+  double remaining = total;
+  for (int i = 1; i < n; ++i) {
+    const double next =
+        remaining *
+        std::pow(rng.UniformDouble(), 1.0 / static_cast<double>(n - i));
+    utilizations.push_back(remaining - next);
+    remaining = next;
+  }
+  utilizations.push_back(remaining);
+  return utilizations;
+}
+
+StatusOr<TransactionSet> GenerateWorkload(const WorkloadParams& params,
+                                          Rng& rng) {
+  if (params.num_transactions < 1) {
+    return Status::InvalidArgument("num_transactions must be >= 1");
+  }
+  if (params.num_items < 1) {
+    return Status::InvalidArgument("num_items must be >= 1");
+  }
+  if (params.min_period < 2 || params.max_period < params.min_period) {
+    return Status::InvalidArgument("bad period range");
+  }
+  if (params.min_ops < 1 || params.max_ops < params.min_ops) {
+    return Status::InvalidArgument("bad ops range");
+  }
+  if (params.total_utilization <= 0.0 ||
+      params.total_utilization > 1.0) {
+    return Status::InvalidArgument("utilization must be in (0, 1]");
+  }
+
+  const std::vector<double> utilizations =
+      UUniFast(params.num_transactions, params.total_utilization, rng);
+
+  std::vector<TransactionSpec> specs;
+  specs.reserve(static_cast<std::size_t>(params.num_transactions));
+  const double log_min = std::log(static_cast<double>(params.min_period));
+  const double log_max = std::log(static_cast<double>(params.max_period));
+
+  for (int i = 0; i < params.num_transactions; ++i) {
+    TransactionSpec spec;
+    const double log_period = log_min == log_max
+                                  ? log_min
+                                  : rng.UniformRange(log_min, log_max);
+    spec.period = static_cast<Tick>(std::llround(std::exp(log_period)));
+    spec.period = std::clamp(spec.period, params.min_period,
+                             params.max_period);
+    spec.offset = rng.UniformInt(0, spec.period - 1);
+
+    // Distinct items per transaction can never exceed the database size.
+    const int max_ops = std::min(params.max_ops, params.num_items);
+    const int min_ops = std::min(params.min_ops, max_ops);
+    const int ops = static_cast<int>(rng.UniformInt(min_ops, max_ops));
+    Tick c = static_cast<Tick>(std::llround(
+        utilizations[static_cast<std::size_t>(i)] *
+        static_cast<double>(spec.period)));
+    c = std::clamp<Tick>(c, ops, spec.period);
+
+    const std::vector<std::int64_t> items =
+        rng.SampleWithoutReplacement(params.num_items, ops);
+    for (std::int64_t item : items) {
+      if (rng.Bernoulli(params.write_fraction)) {
+        spec.body.push_back(Write(static_cast<ItemId>(item)));
+      } else {
+        spec.body.push_back(Read(static_cast<ItemId>(item)));
+      }
+    }
+    // Pad with compute ticks, spread after the data ops, to reach C_i.
+    const Tick padding = c - static_cast<Tick>(ops);
+    if (padding > 0) spec.body.push_back(Compute(padding));
+    rng.Shuffle(spec.body);
+    specs.push_back(std::move(spec));
+  }
+  return TransactionSet::Create(std::move(specs),
+                                PriorityAssignment::kRateMonotonic);
+}
+
+}  // namespace pcpda

@@ -1,0 +1,44 @@
+#ifndef PCPDA_WORKLOAD_GENERATOR_H_
+#define PCPDA_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// Parameters for random periodic transaction sets. Defaults give a
+/// moderately contended, laptop-scale workload.
+struct WorkloadParams {
+  int num_transactions = 8;
+  /// Size of the (memory-resident) database.
+  int num_items = 20;
+  /// Target processor utilization sum(C_i/Pd_i), split by UUniFast.
+  double total_utilization = 0.6;
+  /// Periods are drawn log-uniformly from [min_period, max_period].
+  Tick min_period = 50;
+  Tick max_period = 1000;
+  /// Data operations per transaction, uniform in [min_ops, max_ops]
+  /// (distinct items).
+  int min_ops = 2;
+  int max_ops = 5;
+  /// Probability a data operation is a write.
+  double write_fraction = 0.3;
+};
+
+/// UUniFast (Bini & Buttazzo): splits `total` into `n` unbiased uniform
+/// utilizations. Exposed for tests.
+std::vector<double> UUniFast(int n, double total, Rng& rng);
+
+/// Generates a random periodic transaction set. Each transaction draws a
+/// period, a target execution time C_i ≈ u_i * Pd_i (at least one tick per
+/// operation), distinct data items and op kinds, then pads with compute
+/// ticks; the set is ordered rate-monotonically.
+StatusOr<TransactionSet> GenerateWorkload(const WorkloadParams& params,
+                                          Rng& rng);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_WORKLOAD_GENERATOR_H_

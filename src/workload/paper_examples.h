@@ -1,0 +1,51 @@
+#ifndef PCPDA_WORKLOAD_PAPER_EXAMPLES_H_
+#define PCPDA_WORKLOAD_PAPER_EXAMPLES_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// One of the paper's worked examples, ready to simulate.
+struct PaperExample {
+  std::string name;
+  TransactionSet set;
+  /// Simulation horizon covering the paper's figure.
+  Tick horizon = 0;
+  /// What the paper expects, for EXPERIMENTS.md.
+  std::string notes;
+};
+
+/// Data items of the examples (indices into the database).
+inline constexpr ItemId kItemX = 0;
+inline constexpr ItemId kItemY = 1;
+inline constexpr ItemId kItemZ = 2;
+
+/// Example 1 / Figure 1: T1:Read(x), T2:Read(y), T3:Write(x); arrivals
+/// 2/1/0. Under RW-PCP T2 suffers ceiling blocking and T1 conflict
+/// blocking, both by T3; PCP-DA avoids both.
+PaperExample Example1();
+
+/// Example 3 / Figures 2-3: T1:Read(x),Read(y) with period 5 (arrives at
+/// 1); T2:Write(x),...,Write(y),... one-shot at 0 (C=5). Under RW-PCP T1's
+/// first instance is blocked 4 ticks and misses its deadline at t=6; under
+/// PCP-DA T1 never blocks and every deadline is met.
+PaperExample Example3();
+
+/// Example 4 / Figures 4-5: T1:R(x); T2:W(y); T3:R(z),W(z); T4:R(y),W(x);
+/// arrivals 4/9/1/0. PCP-DA grants T3 via LC4 at t=1 and T1 via LC2 at
+/// t=4; under RW-PCP T3 is ceiling-blocked 4 ticks and T1
+/// conflict-blocked 1 tick. Access sets reconstructed from the narrative
+/// (see DESIGN.md §5).
+PaperExample Example4();
+
+/// Example 5: TH:R(y),W(x) and TL:R(x),W(y); TL arrives first. Under the
+/// naive "condition (2)" variant (PcpDaOptions::enable_tstar_guard =
+/// false) the pair deadlocks; full PCP-DA blocks TH once instead.
+PaperExample Example5();
+
+}  // namespace pcpda
+
+#endif  // PCPDA_WORKLOAD_PAPER_EXAMPLES_H_

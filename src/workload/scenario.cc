@@ -1,0 +1,253 @@
+#include "workload/scenario.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace pcpda {
+namespace {
+
+/// Splits a line into whitespace-separated tokens, dropping comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    if (token.front() == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+Status ParseError(int line_number, const std::string& message) {
+  return Status::InvalidArgument(
+      StrFormat("line %d: %s", line_number, message.c_str()));
+}
+
+bool ParseTick(const std::string& token, Tick* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || token.empty()) return false;
+  *out = static_cast<Tick>(value);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Scenario> ParseScenario(const std::string& text) {
+  std::string name = "scenario";
+  Tick horizon = 0;
+  PriorityAssignment assignment = PriorityAssignment::kRateMonotonic;
+  std::map<std::string, ItemId> items;
+  std::vector<TransactionSpec> specs;
+
+  auto item_id = [&items](const std::string& item_name) {
+    auto [it, inserted] = items.try_emplace(
+        item_name, static_cast<ItemId>(items.size()));
+    return it->second;
+  };
+
+  bool in_txn = false;
+  TransactionSpec current;
+
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+
+    if (in_txn) {
+      if (keyword == "end") {
+        if (tokens.size() != 1) {
+          return ParseError(line_number, "end takes no arguments");
+        }
+        specs.push_back(std::move(current));
+        current = TransactionSpec{};
+        in_txn = false;
+        continue;
+      }
+      if (keyword == "read" || keyword == "write") {
+        if (tokens.size() < 2 || tokens.size() > 3) {
+          return ParseError(line_number,
+                            keyword + " needs an item and an optional "
+                                      "duration");
+        }
+        Tick duration = 1;
+        if (tokens.size() == 3 &&
+            (!ParseTick(tokens[2], &duration) || duration <= 0)) {
+          return ParseError(line_number, "bad duration");
+        }
+        const ItemId item = item_id(tokens[1]);
+        current.body.push_back(keyword == "read" ? Read(item, duration)
+                                                 : Write(item, duration));
+        continue;
+      }
+      if (keyword == "compute") {
+        Tick duration = 0;
+        if (tokens.size() != 2 || !ParseTick(tokens[1], &duration) ||
+            duration <= 0) {
+          return ParseError(line_number,
+                            "compute needs a positive duration");
+        }
+        current.body.push_back(Compute(duration));
+        continue;
+      }
+      return ParseError(line_number,
+                        "unknown step '" + keyword +
+                            "' (expected read/write/compute/end)");
+    }
+
+    if (keyword == "scenario") {
+      if (tokens.size() != 2) {
+        return ParseError(line_number, "scenario needs a name");
+      }
+      name = tokens[1];
+      continue;
+    }
+    if (keyword == "horizon") {
+      if (tokens.size() != 2 || !ParseTick(tokens[1], &horizon) ||
+          horizon <= 0) {
+        return ParseError(line_number, "horizon needs a positive tick");
+      }
+      continue;
+    }
+    if (keyword == "priority") {
+      if (tokens.size() != 2) {
+        return ParseError(line_number, "priority needs a mode");
+      }
+      if (tokens[1] == "as-listed") {
+        assignment = PriorityAssignment::kAsListed;
+      } else if (tokens[1] == "rate-monotonic") {
+        assignment = PriorityAssignment::kRateMonotonic;
+      } else {
+        return ParseError(line_number,
+                          "priority mode must be as-listed or "
+                          "rate-monotonic");
+      }
+      continue;
+    }
+    if (keyword == "item") {
+      if (tokens.size() != 2) {
+        return ParseError(line_number, "item needs a name");
+      }
+      item_id(tokens[1]);
+      continue;
+    }
+    if (keyword == "txn") {
+      if (tokens.size() < 2) {
+        return ParseError(line_number, "txn needs a name");
+      }
+      current = TransactionSpec{};
+      current.name = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const std::string& attr = tokens[i];
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return ParseError(line_number,
+                            "txn attribute must be key=value: " + attr);
+        }
+        const std::string key = attr.substr(0, eq);
+        Tick value = 0;
+        if (!ParseTick(attr.substr(eq + 1), &value)) {
+          return ParseError(line_number, "bad value in " + attr);
+        }
+        if (key == "period") {
+          current.period = value;
+        } else if (key == "offset") {
+          current.offset = value;
+        } else if (key == "deadline") {
+          current.relative_deadline = value;
+        } else {
+          return ParseError(line_number, "unknown txn attribute " + key);
+        }
+      }
+      in_txn = true;
+      continue;
+    }
+    return ParseError(line_number, "unknown directive '" + keyword + "'");
+  }
+  if (in_txn) {
+    return Status::InvalidArgument("unterminated txn (missing 'end')");
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument("scenario declares no transactions");
+  }
+
+  auto set = TransactionSet::Create(std::move(specs), assignment);
+  PCPDA_RETURN_IF_ERROR(set.status());
+  Scenario scenario{name, std::move(set).value(), horizon,
+                    std::move(items)};
+  return scenario;
+}
+
+StatusOr<Scenario> LoadScenarioFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open scenario file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseScenario(buffer.str());
+}
+
+std::string FormatScenario(const std::string& name,
+                           const TransactionSet& set, Tick horizon) {
+  std::vector<std::string> lines;
+  lines.push_back("scenario " + name);
+  if (horizon > 0) {
+    lines.push_back(
+        StrFormat("horizon %lld", static_cast<long long>(horizon)));
+  }
+  // The set is emitted in priority order, which as-listed reproduces
+  // regardless of how it was originally assigned.
+  lines.push_back("priority as-listed");
+  // Pre-declare items in id order so the parse assigns identical ids.
+  for (ItemId item = 0; item < set.item_count(); ++item) {
+    lines.push_back(StrFormat("item d%d", item));
+  }
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const TransactionSpec& spec = set.spec(i);
+    std::string header = "txn " + spec.name;
+    if (spec.period > 0) {
+      header += StrFormat(" period=%lld",
+                          static_cast<long long>(spec.period));
+    }
+    if (spec.offset > 0) {
+      header += StrFormat(" offset=%lld",
+                          static_cast<long long>(spec.offset));
+    }
+    if (spec.relative_deadline > 0) {
+      header += StrFormat(" deadline=%lld",
+                          static_cast<long long>(spec.relative_deadline));
+    }
+    lines.push_back(std::move(header));
+    for (const Step& step : spec.body) {
+      switch (step.kind) {
+        case StepKind::kCompute:
+          lines.push_back(StrFormat(
+              "  compute %lld", static_cast<long long>(step.duration)));
+          break;
+        case StepKind::kRead:
+          lines.push_back(StrFormat(
+              "  read d%d %lld", step.item,
+              static_cast<long long>(step.duration)));
+          break;
+        case StepKind::kWrite:
+          lines.push_back(StrFormat(
+              "  write d%d %lld", step.item,
+              static_cast<long long>(step.duration)));
+          break;
+      }
+    }
+    lines.push_back("end");
+  }
+  return Join(lines, "\n") + "\n";
+}
+
+}  // namespace pcpda

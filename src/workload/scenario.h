@@ -1,0 +1,52 @@
+#ifndef PCPDA_WORKLOAD_SCENARIO_H_
+#define PCPDA_WORKLOAD_SCENARIO_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+
+/// A transaction-set scenario parsed from the line-oriented text format
+/// (see ParseScenario). Lets workloads live in files instead of C++ —
+/// the paper's worked examples ship as .scn files under scenarios/.
+struct Scenario {
+  std::string name;
+  TransactionSet set;
+  /// Simulation horizon; 0 means "caller decides".
+  Tick horizon = 0;
+  /// Item name -> id, in declaration order.
+  std::map<std::string, ItemId> items;
+};
+
+/// Parses the scenario text format:
+///
+///   # comment (blank lines ignored)
+///   scenario <name>
+///   horizon <ticks>
+///   priority as-listed | rate-monotonic     (default rate-monotonic)
+///   item <name>                             (optional pre-declaration)
+///   txn <name> [period=<n>] [offset=<n>] [deadline=<n>]
+///     read <item> [<duration>]
+///     write <item> [<duration>]
+///     compute <duration>
+///   end
+///
+/// Items are auto-declared on first use, ids assigned in order of
+/// appearance. Errors carry the offending line number.
+StatusOr<Scenario> ParseScenario(const std::string& text);
+
+/// Reads and parses a scenario file.
+StatusOr<Scenario> LoadScenarioFile(const std::string& path);
+
+/// Renders a transaction set back into the scenario format (round-trips
+/// through ParseScenario).
+std::string FormatScenario(const std::string& name,
+                           const TransactionSet& set, Tick horizon);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_WORKLOAD_SCENARIO_H_

@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include "analysis/blocking.h"
+#include "common/rng.h"
+#include "test_util.h"
+#include "workload/generator.h"
+#include "analysis/report.h"
+#include "analysis/response_time.h"
+#include "analysis/rm_bound.h"
+#include "workload/paper_examples.h"
+
+namespace pcpda {
+namespace {
+
+TransactionSet MakeSet(std::vector<TransactionSpec> specs,
+                       PriorityAssignment pa =
+                           PriorityAssignment::kAsListed) {
+  auto set = TransactionSet::Create(std::move(specs), pa);
+  EXPECT_TRUE(set.ok()) << set.status().ToString();
+  return std::move(set).value();
+}
+
+// --- ComputeBlocking: BTS membership rules ---------------------------------
+
+TEST(BlockingTest, PcpDaOnlyReadersBlock) {
+  // L writes x (Aceil(x) = P_H because H reads it): under RW-PCP L blocks
+  // H; under PCP-DA writes are preemptable so BTS_H is empty.
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Read(0)}},
+      {.name = "L", .period = 20, .body = {Write(0), Compute(2)}},
+  });
+  const auto pcpda = ComputeBlocking(set, ProtocolKind::kPcpDa);
+  const auto rwpcp = ComputeBlocking(set, ProtocolKind::kRwPcp);
+  EXPECT_TRUE(pcpda.per_spec[0].bts.empty());
+  EXPECT_EQ(pcpda.B(0), 0);
+  EXPECT_EQ(rwpcp.per_spec[0].bts, (std::vector<SpecId>{1}));
+  EXPECT_EQ(rwpcp.B(0), 3);
+}
+
+TEST(BlockingTest, PcpDaReaderOfHighCeilingItemBlocks) {
+  // L reads x which H writes: Wceil(x) = P_H, so L ∈ BTS_H under PCP-DA.
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Write(0)}},
+      {.name = "L", .period = 20, .body = {Read(0), Compute(3)}},
+  });
+  const auto pcpda = ComputeBlocking(set, ProtocolKind::kPcpDa);
+  EXPECT_EQ(pcpda.per_spec[0].bts, (std::vector<SpecId>{1}));
+  EXPECT_EQ(pcpda.B(0), 4);
+}
+
+TEST(BlockingTest, IntermediateSpecBlockedThroughCeiling) {
+  // M neither reads nor writes x, but L's read of x (Wceil = P_H >= P_M)
+  // can ceiling-block M.
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Write(0)}},
+      {.name = "M", .period = 20, .body = {Read(1)}},
+      {.name = "L", .period = 40, .body = {Read(0), Compute(2)}},
+  });
+  const auto pcpda = ComputeBlocking(set, ProtocolKind::kPcpDa);
+  EXPECT_EQ(pcpda.per_spec[1].bts, (std::vector<SpecId>{2}));
+  EXPECT_EQ(pcpda.B(1), 3);
+}
+
+TEST(BlockingTest, HigherPriorityNeverInBts) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Write(0)}},
+      {.name = "L", .period = 20, .body = {Read(0)}},
+  });
+  for (ProtocolKind kind : AnalyzableProtocolKinds()) {
+    const auto analysis = ComputeBlocking(set, kind);
+    EXPECT_TRUE(analysis.per_spec[1].bts.empty())
+        << ToString(kind) << ": lowest spec has nobody below it";
+  }
+}
+
+TEST(BlockingTest, PcpDaBtsSubsetOfRwPcp) {
+  const TransactionSet set = Example4().set;
+  const auto pcpda = ComputeBlocking(set, ProtocolKind::kPcpDa);
+  const auto rwpcp = ComputeBlocking(set, ProtocolKind::kRwPcp);
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const auto& sub = pcpda.per_spec[static_cast<std::size_t>(i)].bts;
+    const auto& super = rwpcp.per_spec[static_cast<std::size_t>(i)].bts;
+    for (SpecId l : sub) {
+      EXPECT_NE(std::find(super.begin(), super.end(), l), super.end());
+    }
+    EXPECT_LE(pcpda.B(i), rwpcp.B(i));
+  }
+}
+
+TEST(BlockingTest, OpcpAtLeastAsPessimisticAsRwPcp) {
+  const TransactionSet set = Example4().set;
+  const auto opcp = ComputeBlocking(set, ProtocolKind::kOpcp);
+  const auto rwpcp = ComputeBlocking(set, ProtocolKind::kRwPcp);
+  for (SpecId i = 0; i < set.size(); ++i) {
+    EXPECT_GE(opcp.B(i), rwpcp.B(i));
+  }
+}
+
+TEST(BlockingTest, Example4Numbers) {
+  const TransactionSet set = Example4().set;  // T1,T2,T3,T4 as listed
+  const auto pcpda = ComputeBlocking(set, ProtocolKind::kPcpDa);
+  const auto rwpcp = ComputeBlocking(set, ProtocolKind::kRwPcp);
+  // T4 (C=5) reads y (Wceil=P2): blocks T2..T3 under PCP-DA; its write of
+  // x (Aceil=P1) additionally blocks T1 under RW-PCP only.
+  EXPECT_EQ(pcpda.B(0), 0);  // T1: nobody below reads a >=P1 item
+  EXPECT_EQ(rwpcp.B(0), 5);  // T4's write of x has Aceil = P1
+  EXPECT_EQ(pcpda.B(1), 5);  // T4 reads y, Wceil(y)=P2
+  EXPECT_EQ(pcpda.B(2), 5);
+}
+
+// --- CCP holding window -----------------------------------------------------
+
+TEST(CcpWindowTest, ReleaseAfterLastUseShortensWindow) {
+  // body: Read(x) then 4 compute ticks; x ceiling >= level; no future
+  // locks -> released after tick 1: window = 1, not C = 5.
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Write(0)}},
+      {.name = "L", .period = 40, .body = {Read(0), Compute(4)}},
+  });
+  const StaticCeilings ceilings(set);
+  EXPECT_EQ(CcpHoldingWindow(set.spec(1), ceilings, set.priority(0)), 1);
+  const auto ccp = ComputeBlocking(set, ProtocolKind::kCcp);
+  const auto rwpcp = ComputeBlocking(set, ProtocolKind::kRwPcp);
+  EXPECT_EQ(ccp.B(0), 1);
+  EXPECT_EQ(rwpcp.B(0), 5);
+}
+
+TEST(CcpWindowTest, HeldToEndWhenHigherCeilingFollows) {
+  // L reads x (low ceiling) then later reads y (high ceiling): x cannot
+  // be released before y's acquisition.
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Write(1)}},   // Wceil(y)=P1
+      {.name = "M", .period = 20, .body = {Write(0)}},   // Wceil(x)=P2
+      {.name = "L",
+       .period = 40,
+       .body = {Read(0), Compute(2), Read(1), Compute(1)}},
+  });
+  const StaticCeilings ceilings(set);
+  // Window at level P2: x acquired at 0; release only when no higher
+  // future ceiling remains: y (ceiling P1) is read at step 3, so x is
+  // held until after that read -> window spans [0, 4); y itself is
+  // released at 4 (last step has no higher ceiling) -> max release 4.
+  EXPECT_EQ(CcpHoldingWindow(set.spec(2), ceilings, set.priority(1)), 4);
+}
+
+TEST(CcpWindowTest, ZeroWhenNoOffendingItems) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Read(0)}},
+      {.name = "L", .period = 40, .body = {Read(1), Compute(2)}},
+  });
+  const StaticCeilings ceilings(set);
+  EXPECT_EQ(CcpHoldingWindow(set.spec(1), ceilings, set.priority(0)), 0);
+}
+
+// --- Liu-Layland test -------------------------------------------------------
+
+TEST(RmBoundTest, BoundValues) {
+  EXPECT_DOUBLE_EQ(RmUtilizationBound(1), 1.0);
+  EXPECT_NEAR(RmUtilizationBound(2), 0.8284, 1e-3);
+  EXPECT_NEAR(RmUtilizationBound(3), 0.7798, 1e-3);
+}
+
+TEST(RmBoundTest, AcceptsLowUtilization) {
+  TransactionSet set = MakeSet(
+      {
+          {.name = "A", .period = 10, .body = {Compute(2)}},
+          {.name = "B", .period = 20, .body = {Compute(2)}},
+      },
+      PriorityAssignment::kRateMonotonic);
+  const auto result = LiuLaylandTest(set, {0, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->schedulable);
+}
+
+TEST(RmBoundTest, BlockingTermCanBreakIt) {
+  TransactionSet set = MakeSet(
+      {
+          {.name = "A", .period = 10, .body = {Compute(2)}},
+          {.name = "B", .period = 20, .body = {Compute(2)}},
+      },
+      PriorityAssignment::kRateMonotonic);
+  // B_1 = 7 adds 0.7 to A's term: 0.2 + 0.7 < 1.0 still OK; B_1 = 9
+  // pushes it over.
+  auto ok = LiuLaylandTest(set, {7, 0});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->schedulable);
+  auto bad = LiuLaylandTest(set, {9, 0});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->schedulable);
+  EXPECT_FALSE(bad->per_spec[0].schedulable);
+}
+
+TEST(RmBoundTest, RejectsOneShotSpecs) {
+  TransactionSet set = MakeSet({{.name = "A", .body = {Compute(1)}}});
+  EXPECT_FALSE(LiuLaylandTest(set, {0}).ok());
+}
+
+TEST(RmBoundTest, RejectsWrongVectorSize) {
+  TransactionSet set = MakeSet(
+      {{.name = "A", .period = 10, .body = {Compute(1)}}},
+      PriorityAssignment::kRateMonotonic);
+  EXPECT_FALSE(LiuLaylandTest(set, {0, 0}).ok());
+}
+
+TEST(RmBoundTest, RejectsNonRmOrder) {
+  TransactionSet set = MakeSet(
+      {
+          {.name = "slow", .period = 20, .body = {Compute(1)}},
+          {.name = "fast", .period = 10, .body = {Compute(1)}},
+      },
+      PriorityAssignment::kAsListed);
+  EXPECT_FALSE(LiuLaylandTest(set, {0, 0}).ok());
+}
+
+// --- Response-time analysis ---------------------------------------------------
+
+TEST(ResponseTimeTest, ExactFixpoint) {
+  TransactionSet set = MakeSet(
+      {
+          {.name = "A", .period = 10, .body = {Compute(3)}},
+          {.name = "B", .period = 20, .body = {Compute(4)}},
+      },
+      PriorityAssignment::kRateMonotonic);
+  const auto result = ResponseTimeAnalysis(set, {0, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->schedulable);
+  EXPECT_EQ(result->per_spec[0].response, 3);
+  EXPECT_EQ(result->per_spec[1].response, 7);  // 4 + one preemption by A
+}
+
+TEST(ResponseTimeTest, BlockingAddsDirectly) {
+  TransactionSet set = MakeSet(
+      {
+          {.name = "A", .period = 10, .body = {Compute(3)}},
+          {.name = "B", .period = 20, .body = {Compute(4)}},
+      },
+      PriorityAssignment::kRateMonotonic);
+  const auto result = ResponseTimeAnalysis(set, {2, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_spec[0].response, 5);
+}
+
+TEST(ResponseTimeTest, DetectsUnschedulable) {
+  TransactionSet set = MakeSet(
+      {
+          {.name = "A", .period = 4, .body = {Compute(3)}},
+          {.name = "B", .period = 8, .body = {Compute(4)}},
+      },
+      PriorityAssignment::kRateMonotonic);
+  const auto result = ResponseTimeAnalysis(set, {0, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->per_spec[0].schedulable);
+  EXPECT_FALSE(result->per_spec[1].schedulable);
+  EXPECT_FALSE(result->schedulable);
+}
+
+TEST(ResponseTimeTest, TighterThanLiuLayland) {
+  // Classic case: utilization above the LL bound yet schedulable.
+  TransactionSet set = MakeSet(
+      {
+          {.name = "A", .period = 4, .body = {Compute(2)}},
+          {.name = "B", .period = 8, .body = {Compute(4)}},
+      },
+      PriorityAssignment::kRateMonotonic);
+  const auto ll = LiuLaylandTest(set, {0, 0});
+  const auto rta = ResponseTimeAnalysis(set, {0, 0});
+  ASSERT_TRUE(ll.ok());
+  ASSERT_TRUE(rta.ok());
+  EXPECT_FALSE(ll->schedulable);   // U = 1.0 > 0.828
+  EXPECT_TRUE(rta->schedulable);   // exact test: fits perfectly
+}
+
+// --- Reports -----------------------------------------------------------------
+
+TEST(ReportTest, BlockingComparisonTableMentionsAllProtocols) {
+  const std::string table = BlockingComparisonTable(Example4().set);
+  EXPECT_NE(table.find("PCP-DA"), std::string::npos);
+  EXPECT_NE(table.find("RW-PCP"), std::string::npos);
+  EXPECT_NE(table.find("CCP"), std::string::npos);
+  EXPECT_NE(table.find("T4"), std::string::npos);
+}
+
+TEST(ReportTest, SchedulabilityReportRunsOnPeriodicSet) {
+  TransactionSet set = MakeSet(
+      {
+          {.name = "A", .period = 10, .body = {Read(0)}},
+          {.name = "B", .period = 20, .body = {Write(0), Compute(1)}},
+      },
+      PriorityAssignment::kRateMonotonic);
+  const std::string report = SchedulabilityReport(set);
+  EXPECT_NE(report.find("Liu-Layland"), std::string::npos);
+  EXPECT_NE(report.find("response-time"), std::string::npos);
+  EXPECT_NE(report.find("schedulable"), std::string::npos);
+}
+
+
+// --- Hyperbolic bound (extension) --------------------------------------------
+
+TEST(HyperbolicTest, TighterThanLiuLayland) {
+  // U = 0.5 + 0.333 = 0.833 > LL bound 0.828, but the hyperbolic product
+  // (1.5)(1.333) = 2.0 <= 2 admits it.
+  TransactionSet set = MakeSet(
+      {
+          {.name = "A", .period = 2, .body = {Compute(1)}},
+          {.name = "B", .period = 3, .body = {Compute(1)}},
+      },
+      PriorityAssignment::kRateMonotonic);
+  const auto ll = LiuLaylandTest(set, {0, 0});
+  const auto hb = HyperbolicTest(set, {0, 0});
+  ASSERT_TRUE(ll.ok());
+  ASSERT_TRUE(hb.ok());
+  EXPECT_FALSE(ll->schedulable);
+  EXPECT_TRUE(hb->schedulable);
+}
+
+TEST(HyperbolicTest, BlockingFactorCanBreakIt) {
+  TransactionSet set = MakeSet(
+      {
+          {.name = "A", .period = 10, .body = {Compute(4)}},
+          {.name = "B", .period = 20, .body = {Compute(6)}},
+      },
+      PriorityAssignment::kRateMonotonic);
+  auto ok = HyperbolicTest(set, {0, 0});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->schedulable);  // A: 1.4 <= 2; B: 1.4 * 1.3 = 1.82 <= 2
+  // B_1 = 7 makes A's term 0.4 + 0.7 + 1 = 2.1 > 2.
+  auto bad = HyperbolicTest(set, {7, 0});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->schedulable);
+  EXPECT_FALSE(bad->per_spec[0].schedulable);
+  EXPECT_TRUE(bad->per_spec[1].schedulable);
+}
+
+TEST(HyperbolicTest, RejectsOneShotAndBadSizes) {
+  TransactionSet one_shot = MakeSet({{.name = "A", .body = {Compute(1)}}});
+  EXPECT_FALSE(HyperbolicTest(one_shot, {0}).ok());
+  TransactionSet periodic = MakeSet(
+      {{.name = "A", .period = 10, .body = {Compute(1)}}},
+      PriorityAssignment::kRateMonotonic);
+  EXPECT_FALSE(HyperbolicTest(periodic, {0, 0}).ok());
+}
+
+TEST(HyperbolicTest, NeverRejectsWhatLiuLaylandAccepts) {
+  // The hyperbolic bound dominates LL: anything LL admits passes.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    WorkloadParams params;
+    params.total_utilization = 0.55;
+    auto set = GenerateWorkload(params, rng);
+    ASSERT_TRUE(set.ok());
+    const auto blocking = ComputeBlocking(*set, ProtocolKind::kPcpDa);
+    const auto ll = LiuLaylandTest(*set, blocking.AllB());
+    const auto hb = HyperbolicTest(*set, blocking.AllB());
+    ASSERT_TRUE(ll.ok());
+    ASSERT_TRUE(hb.ok());
+    if (ll->schedulable) {
+      EXPECT_TRUE(hb->schedulable) << "seed " << seed;
+    }
+  }
+}
+
+// --- Deadline-monotonic assignment (extension) -------------------------------
+
+TEST(DeadlineMonotonicTest, OrdersByEffectiveDeadline) {
+  TransactionSpec a{.name = "long", .period = 10, .body = {Compute(1)}};
+  TransactionSpec b{.name = "short", .period = 50, .body = {Compute(1)}};
+  b.relative_deadline = 5;  // shorter deadline than a's period
+  auto set = TransactionSet::Create(
+      {a, b}, PriorityAssignment::kDeadlineMonotonic);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->spec(0).name, "short");
+  EXPECT_EQ(set->spec(1).name, "long");
+}
+
+TEST(DeadlineMonotonicTest, EqualsRateMonotonicWithoutDeadlines) {
+  TransactionSpec a{.name = "a", .period = 30, .body = {Compute(1)}};
+  TransactionSpec b{.name = "b", .period = 10, .body = {Compute(1)}};
+  auto dm = TransactionSet::Create(
+      {a, b}, PriorityAssignment::kDeadlineMonotonic);
+  auto rm = TransactionSet::Create({a, b});
+  ASSERT_TRUE(dm.ok());
+  ASSERT_TRUE(rm.ok());
+  EXPECT_EQ(dm->DebugString(), rm->DebugString());
+}
+
+TEST(DeadlineMonotonicTest, CanScheduleWhatRmMisses) {
+  // Classic: a long-period transaction with a tight deadline needs DM.
+  TransactionSpec urgent{.name = "urgent",
+                         .period = 100,
+                         .body = {Compute(2)}};
+  urgent.relative_deadline = 4;
+  TransactionSpec frequent{.name = "frequent",
+                           .period = 10,
+                           .body = {Compute(3)}};
+  auto rm = TransactionSet::Create({urgent, frequent});
+  auto dm = TransactionSet::Create(
+      {urgent, frequent}, PriorityAssignment::kDeadlineMonotonic);
+  ASSERT_TRUE(rm.ok());
+  ASSERT_TRUE(dm.ok());
+  const SimResult rm_run = RunWith(*rm, ProtocolKind::kPcpDa, 100);
+  const SimResult dm_run = RunWith(*dm, ProtocolKind::kPcpDa, 100);
+  EXPECT_GT(rm_run.metrics.TotalMisses(), 0);
+  EXPECT_EQ(dm_run.metrics.TotalMisses(), 0);
+}
+
+// --- Response percentiles (extension) ----------------------------------------
+
+TEST(ResponsePercentileTest, NearestRank) {
+  SpecMetrics m;
+  m.responses = {5, 1, 9, 3, 7};
+  EXPECT_EQ(m.ResponsePercentile(0.0), 1);
+  EXPECT_EQ(m.ResponsePercentile(0.5), 5);
+  EXPECT_EQ(m.ResponsePercentile(1.0), 9);
+}
+
+TEST(ResponsePercentileTest, EmptyIsZero) {
+  SpecMetrics m;
+  EXPECT_EQ(m.ResponsePercentile(0.9), 0);
+}
+
+TEST(ResponsePercentileTest, PopulatedBySimulator) {
+  TransactionSet set = MakeSet(
+      {{.name = "T", .period = 5, .body = {Compute(2)}}},
+      PriorityAssignment::kRateMonotonic);
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 25);
+  const auto& m = result.metrics.per_spec[0];
+  EXPECT_EQ(m.responses.size(), 5u);
+  EXPECT_EQ(m.ResponsePercentile(1.0), m.max_response);
+}
+
+}  // namespace
+}  // namespace pcpda

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "history/serialization_graph.h"
+#include "sim/arrival_schedule.h"
+#include "test_util.h"
+
+namespace pcpda {
+namespace {
+
+TransactionSet TwoSpecs() {
+  TransactionSpec a{.name = "A", .period = 10, .body = {Compute(1)}};
+  TransactionSpec b{.name = "B",
+                    .period = 25,
+                    .offset = 3,
+                    .body = {Compute(2)}};
+  auto set = TransactionSet::Create({a, b});
+  return std::move(set).value();
+}
+
+TEST(ArrivalScheduleTest, PeriodicMatchesCalendar) {
+  const TransactionSet set = TwoSpecs();
+  const ArrivalSchedule schedule = ArrivalSchedule::Periodic(set, 50);
+  const ArrivalCalendar calendar(&set);
+  EXPECT_EQ(schedule.arrivals(), calendar.Before(50));
+  EXPECT_EQ(schedule.CountFor(0), 5);
+  EXPECT_EQ(schedule.CountFor(1), 2);
+}
+
+TEST(ArrivalScheduleTest, AtQueriesMatchList) {
+  const TransactionSet set = TwoSpecs();
+  const ArrivalSchedule schedule = ArrivalSchedule::Periodic(set, 50);
+  std::size_t total = 0;
+  for (Tick t = 0; t < 50; ++t) total += schedule.At(t).size();
+  EXPECT_EQ(total, schedule.arrivals().size());
+  EXPECT_EQ(schedule.At(3).size(), 1u);
+  EXPECT_TRUE(schedule.At(4).empty());
+}
+
+TEST(ArrivalScheduleTest, SporadicRespectsMinimumInterArrival) {
+  const TransactionSet set = TwoSpecs();
+  Rng rng(5);
+  const ArrivalSchedule schedule =
+      ArrivalSchedule::Sporadic(set, 500, 0.5, rng);
+  Tick previous_a = -1;
+  for (const Arrival& arrival : schedule.arrivals()) {
+    if (arrival.spec != 0) continue;
+    if (previous_a >= 0) {
+      const Tick gap = arrival.tick - previous_a;
+      EXPECT_GE(gap, 10);
+      EXPECT_LE(gap, 15);
+    }
+    previous_a = arrival.tick;
+  }
+  // Fewer or equal arrivals than strictly periodic.
+  EXPECT_LE(schedule.CountFor(0), 50);
+  EXPECT_GE(schedule.CountFor(0), 500 / 15);
+}
+
+TEST(ArrivalScheduleTest, SporadicZeroJitterIsPeriodic) {
+  const TransactionSet set = TwoSpecs();
+  Rng rng(5);
+  const ArrivalSchedule sporadic =
+      ArrivalSchedule::Sporadic(set, 100, 0.0, rng);
+  const ArrivalSchedule periodic = ArrivalSchedule::Periodic(set, 100);
+  EXPECT_EQ(sporadic.arrivals(), periodic.arrivals());
+}
+
+TEST(ArrivalScheduleTest, PoissonMeanRateTracksLoad) {
+  TransactionSpec a{.name = "A", .period = 20, .body = {Compute(1)}};
+  auto set = TransactionSet::Create({a});
+  ASSERT_TRUE(set.ok());
+  Rng rng(9);
+  const Tick horizon = 200000;
+  const ArrivalSchedule low =
+      ArrivalSchedule::Poisson(*set, horizon, 0.5, rng);
+  const ArrivalSchedule high =
+      ArrivalSchedule::Poisson(*set, horizon, 2.0, rng);
+  // Expected counts: horizon/period*load = 5000 and 20000.
+  EXPECT_NEAR(low.CountFor(0), 5000, 500);
+  EXPECT_NEAR(high.CountFor(0), 20000, 2000);
+}
+
+TEST(ArrivalScheduleTest, InstancesNumberedPerSpec) {
+  const TransactionSet set = TwoSpecs();
+  Rng rng(11);
+  const ArrivalSchedule schedule =
+      ArrivalSchedule::Poisson(set, 300, 1.0, rng);
+  std::map<SpecId, int> expected;
+  for (const Arrival& arrival : schedule.arrivals()) {
+    EXPECT_EQ(arrival.instance, expected[arrival.spec]++);
+  }
+}
+
+TEST(ArrivalScheduleTest, FromArrivalsValidates) {
+  const TransactionSet set = TwoSpecs();
+  EXPECT_TRUE(
+      ArrivalSchedule::FromArrivals(set, {{0, 0, 0}, {5, 1, 0}}).ok());
+  EXPECT_FALSE(
+      ArrivalSchedule::FromArrivals(set, {{5, 0, 0}, {0, 1, 0}}).ok());
+  EXPECT_FALSE(ArrivalSchedule::FromArrivals(set, {{-1, 0, 0}}).ok());
+  EXPECT_FALSE(ArrivalSchedule::FromArrivals(set, {{0, 7, 0}}).ok());
+}
+
+TEST(ArrivalScheduleTest, FromArrivalsRenumbersInstances) {
+  const TransactionSet set = TwoSpecs();
+  auto schedule = ArrivalSchedule::FromArrivals(
+      set, {{0, 0, 99}, {4, 0, 99}, {4, 1, 99}});
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->arrivals()[0].instance, 0);
+  EXPECT_EQ(schedule->arrivals()[1].instance, 1);
+  EXPECT_EQ(schedule->arrivals()[2].instance, 0);
+}
+
+// --- Simulator integration ---------------------------------------------------
+
+TEST(ArrivalScheduleTest, SimulatorUsesOverride) {
+  TransactionSpec a{.name = "A", .period = 10, .body = {Compute(2)}};
+  auto set = TransactionSet::Create({a});
+  ASSERT_TRUE(set.ok());
+  auto schedule =
+      ArrivalSchedule::FromArrivals(*set, {{2, 0, 0}, {7, 0, 0}});
+  ASSERT_TRUE(schedule.ok());
+  auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+  SimulatorOptions options;
+  options.horizon = 20;
+  options.arrival_schedule = &*schedule;
+  Simulator sim(&*set, protocol.get(), options);
+  const SimResult result = sim.Run();
+  // Exactly the two trace arrivals, not the periodic calendar's two at
+  // 0 and 10.
+  EXPECT_EQ(result.metrics.per_spec[0].released, 2);
+  const auto arrivals = result.trace.EventsOfKind(TraceKind::kArrival);
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0].tick, 2);
+  EXPECT_EQ(arrivals[1].tick, 7);
+}
+
+TEST(ArrivalScheduleTest, OverloadedPoissonRunStaysSerializable) {
+  TransactionSpec a{.name = "A", .period = 8, .body = {Read(0), Write(1)}};
+  TransactionSpec b{.name = "B",
+                    .period = 16,
+                    .body = {Read(1), Write(0), Compute(2)}};
+  auto set = TransactionSet::Create({a, b});
+  ASSERT_TRUE(set.ok());
+  Rng rng(3);
+  const ArrivalSchedule schedule =
+      ArrivalSchedule::Poisson(*set, 500, 1.5, rng);
+  auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+  SimulatorOptions options;
+  options.horizon = 500;
+  options.arrival_schedule = &schedule;
+  options.miss_policy = DeadlineMissPolicy::kDrop;
+  Simulator sim(&*set, protocol.get(), options);
+  const SimResult result = sim.Run();
+  EXPECT_FALSE(result.deadlock_detected);
+  EXPECT_TRUE(IsSerializable(result.history));
+  EXPECT_GT(result.metrics.TotalCommitted(), 0);
+}
+
+}  // namespace
+}  // namespace pcpda

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "history/serialization_graph.h"
+#include "test_util.h"
+
+namespace pcpda {
+namespace {
+
+TransactionSet MakeSet(std::vector<TransactionSpec> specs) {
+  auto set = TransactionSet::Create(std::move(specs),
+                                    PriorityAssignment::kAsListed);
+  EXPECT_TRUE(set.ok()) << set.status().ToString();
+  return std::move(set).value();
+}
+
+// --- OPCP (original PCP, exclusive locks) -----------------------------------
+
+TEST(OpcpTest, BlocksEvenReadReadSharing) {
+  // Two readers of x: OPCP treats every lock as exclusive, so the second
+  // reader blocks (read sharing is RW-PCP's improvement).
+  TransactionSet set = MakeSet({
+      {.name = "A", .offset = 1, .body = {Read(0), Compute(1)}},
+      {.name = "B", .offset = 0, .body = {Read(0), Compute(3)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kOpcp, 12);
+  EXPECT_GT(result.metrics.per_spec[0].blocked_ticks, 0)
+      << FailureContext(set, result);
+  EXPECT_EQ(result.metrics.TotalCommitted(), 2);
+}
+
+TEST(OpcpTest, CeilingBlockingOnFreeItem) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .offset = 9, .body = {Write(0)}},
+      {.name = "M", .offset = 1, .body = {Read(1)}},
+      {.name = "L", .offset = 0, .body = {Read(0), Compute(2)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kOpcp, 14);
+  EXPECT_EQ(result.metrics.per_spec[1].ceiling_blocks, 1)
+      << FailureContext(set, result);
+}
+
+TEST(OpcpTest, ExamplesDeadlockFreeAndSerializable) {
+  for (const PaperExample& example :
+       {Example1(), Example3(), Example4(), Example5()}) {
+    const SimResult result = RunExample(example, ProtocolKind::kOpcp);
+    EXPECT_FALSE(result.deadlock_detected) << example.name;
+    EXPECT_TRUE(IsSerializable(result.history)) << example.name;
+    EXPECT_EQ(result.metrics.TotalRestarts(), 0) << example.name;
+  }
+}
+
+// --- CCP ---------------------------------------------------------------
+
+TEST(CcpTest, EarlyReleaseHappens) {
+  // T holds x (high ceiling) and then only computes: CCP releases x right
+  // after its last use; RW-PCP would hold it to commit.
+  TransactionSet set = MakeSet({
+      {.name = "H", .offset = 9, .body = {Write(0)}},
+      {.name = "L", .offset = 0, .body = {Read(0), Compute(4)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kCcp, 14);
+  const auto releases = result.trace.EventsOfKind(TraceKind::kEarlyRelease);
+  ASSERT_EQ(releases.size(), 1u) << FailureContext(set, result);
+  EXPECT_EQ(releases[0].item, 0);
+  // Released during the tick in which the read step completes.
+  EXPECT_EQ(releases[0].tick, 0);
+}
+
+TEST(CcpTest, EarlyReleaseShortensBlocking) {
+  // M arrives while L computes: under RW-PCP M is ceiling-blocked until
+  // L commits; under CCP the lock on x is already gone.
+  TransactionSet set = MakeSet({
+      {.name = "H", .offset = 19, .body = {Write(0)}},
+      {.name = "M", .offset = 2, .body = {Read(1)}},
+      {.name = "L", .offset = 0, .body = {Read(0), Compute(5)}},
+  });
+  const SimResult ccp = RunWith(set, ProtocolKind::kCcp, 24);
+  const SimResult rw = RunWith(set, ProtocolKind::kRwPcp, 24);
+  EXPECT_EQ(ccp.metrics.per_spec[1].blocked_ticks, 0)
+      << FailureContext(set, ccp);
+  EXPECT_GT(rw.metrics.per_spec[1].blocked_ticks, 0);
+}
+
+TEST(CcpTest, NoEarlyReleaseBeforeLastAcquisition) {
+  // L will later read y: x must be kept until the growing phase ends
+  // (releasing earlier would leave two-phase locking).
+  TransactionSet set = MakeSet({
+      {.name = "H", .offset = 19, .body = {Write(1)}},   // Wceil(y)=P1
+      {.name = "M", .offset = 18, .body = {Write(0)}},   // Aceil(x)=P2
+      {.name = "L",
+       .offset = 0,
+       .body = {Read(0), Compute(2), Read(1), Compute(1)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kCcp, 24);
+  const auto releases = result.trace.EventsOfKind(TraceKind::kEarlyRelease);
+  // The last acquisition (Read(1)) completes during tick 3: no release of
+  // x before that, and both items go at tick 3.
+  ASSERT_EQ(releases.size(), 2u) << FailureContext(set, result);
+  for (const TraceEvent& e : releases) {
+    EXPECT_EQ(e.tick, 3) << FailureContext(set, result);
+  }
+}
+
+TEST(CcpTest, ExamplesSerializableDeadlockFree) {
+  for (const PaperExample& example :
+       {Example1(), Example3(), Example4(), Example5()}) {
+    const SimResult result = RunExample(example, ProtocolKind::kCcp);
+    EXPECT_FALSE(result.deadlock_detected) << example.name;
+    EXPECT_TRUE(IsSerializable(result.history)) << example.name;
+  }
+}
+
+// --- 2PL-PI -------------------------------------------------------------
+
+TEST(TwoPlPiTest, SharedReadsAndConflictBlocking) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .offset = 1, .body = {Write(0)}},
+      {.name = "L", .offset = 0, .body = {Read(0), Compute(2)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlPi, 10);
+  EXPECT_EQ(result.metrics.per_spec[0].conflict_blocks, 1);
+  EXPECT_EQ(result.metrics.TotalCommitted(), 2);
+  EXPECT_TRUE(IsSerializable(result.history));
+}
+
+TEST(TwoPlPiTest, DeadlocksOnCrossedAccess) {
+  // The classic deadlock PCPs exist to prevent.
+  TransactionSet set = MakeSet({
+      {.name = "TH", .offset = 1, .body = {Read(1), Write(0)}},
+      {.name = "TL", .offset = 0, .body = {Read(0), Write(1)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlPi, 12);
+  EXPECT_TRUE(result.deadlock_detected)
+      << FailureContext(set, result);
+  EXPECT_TRUE(result.metrics.halted_on_deadlock);
+}
+
+TEST(TwoPlPiTest, DeadlockResolvedByAbort) {
+  TransactionSet set = MakeSet({
+      {.name = "TH", .offset = 1, .body = {Read(1), Write(0)}},
+      {.name = "TL", .offset = 0, .body = {Read(0), Write(1)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlPi, 14,
+                                   DeadlockPolicy::kAbortLowestPriority);
+  EXPECT_TRUE(result.deadlock_detected);
+  // The lower-priority member (TL) restarts; both eventually commit.
+  EXPECT_GT(result.metrics.per_spec[1].restarts, 0);
+  EXPECT_EQ(result.metrics.TotalCommitted(), 2);
+  EXPECT_TRUE(IsSerializable(result.history));
+}
+
+TEST(TwoPlPiTest, ChainedBlockingPossible) {
+  // H is blocked by M's lock on y, and (after M completes) by L's lock on
+  // x — more than one lower-priority blocker, which PCPs forbid.
+  TransactionSet set = MakeSet({
+      {.name = "H", .offset = 4, .body = {Read(1), Read(0)}},
+      {.name = "M", .offset = 2, .body = {Write(1), Compute(3)}},
+      {.name = "L", .offset = 0, .body = {Write(0), Compute(7)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlPi, 30);
+  // Count distinct blocking episodes of H.
+  int blocks = 0;
+  for (const TraceEvent& e : result.trace.events()) {
+    if (e.kind == TraceKind::kBlock && e.spec == 0) ++blocks;
+  }
+  EXPECT_GE(blocks, 2) << FailureContext(set, result);
+  EXPECT_TRUE(IsSerializable(result.history));
+}
+
+// --- 2PL-HP -------------------------------------------------------------
+
+TEST(TwoPlHpTest, HigherPriorityAbortsHolder) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .offset = 1, .body = {Write(0)}},
+      {.name = "L", .offset = 0, .body = {Write(0), Compute(2)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlHp, 12);
+  EXPECT_EQ(result.metrics.per_spec[1].restarts, 1)
+      << FailureContext(set, result);
+  EXPECT_EQ(result.metrics.per_spec[0].blocked_ticks, 0);
+  EXPECT_EQ(CommitTime(result, 0, 0), 2);
+  EXPECT_EQ(result.metrics.TotalCommitted(), 2);
+  EXPECT_TRUE(IsSerializable(result.history));
+}
+
+TEST(TwoPlHpTest, LowerPriorityRequesterWaits) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .offset = 0, .body = {Write(0), Compute(2)}},
+      {.name = "L", .offset = 1, .body = {Read(0)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlHp, 12);
+  EXPECT_EQ(result.metrics.TotalRestarts(), 0);
+  EXPECT_EQ(result.metrics.TotalCommitted(), 2);
+  EXPECT_GT(CommitTime(result, 1, 0), CommitTime(result, 0, 0));
+}
+
+TEST(TwoPlHpTest, AbortUndoesInPlaceWrites) {
+  // L writes x in place, then is aborted by H, which READS x: H must see
+  // the initial value, not L's dirty write.
+  TransactionSet set = MakeSet({
+      {.name = "H", .offset = 1, .body = {Read(0)}},
+      {.name = "L", .offset = 0, .body = {Write(0), Compute(3)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlHp, 14);
+  const CommittedTxn* reader = nullptr;
+  for (const auto& txn : result.history.committed()) {
+    if (txn.spec == 0) reader = &txn;
+  }
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(reader->ops[0].observed.writer, kInvalidJob)
+      << FailureContext(set, result);
+  EXPECT_EQ(result.metrics.per_spec[1].restarts, 1);
+  EXPECT_TRUE(IsSerializable(result.history));
+}
+
+TEST(TwoPlHpTest, NoDeadlockOnCrossedAccess) {
+  TransactionSet set = MakeSet({
+      {.name = "TH", .offset = 1, .body = {Read(1), Write(0)}},
+      {.name = "TL", .offset = 0, .body = {Read(0), Write(1)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlHp, 14);
+  EXPECT_FALSE(result.deadlock_detected);
+  EXPECT_EQ(result.metrics.TotalCommitted(), 2);
+  EXPECT_TRUE(IsSerializable(result.history));
+}
+
+TEST(TwoPlHpTest, RepeatedRestartsUnderPeriodicPressure) {
+  // A periodic high-priority writer keeps aborting the long low-priority
+  // transaction — the unbounded-restart weakness the paper cites.
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 4, .body = {Write(0)}},
+      {.name = "L", .offset = 0, .body = {Write(0), Compute(5)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlHp, 24);
+  EXPECT_GE(result.metrics.per_spec[1].restarts, 2)
+      << FailureContext(set, result);
+}
+
+}  // namespace
+}  // namespace pcpda

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "core/serialization_order.h"
+#include "history/history.h"
+#include "history/serialization_graph.h"
+
+namespace pcpda {
+namespace {
+
+// Handy builders for synthetic histories.
+void Read(History& h, JobId job, ItemId item, Tick tick, std::int64_t seq,
+          JobId from = kInvalidJob) {
+  h.RecordRead(job, item, tick, seq, Value{from, 0}, false);
+}
+void Write(History& h, JobId job, ItemId item, Tick tick,
+           std::int64_t seq) {
+  h.RecordWrite(job, item, tick, seq);
+}
+void Commit(History& h, JobId job, Tick tick, std::int64_t seq) {
+  h.RecordCommit(job, 0, 0, tick, seq);
+}
+
+// --- History bookkeeping ----------------------------------------------------
+
+TEST(HistoryTest, PendingUntilCommit) {
+  History h;
+  Read(h, 1, 0, 0, 0);
+  EXPECT_TRUE(h.committed().empty());
+  EXPECT_EQ(h.pending_jobs(), 1u);
+  Commit(h, 1, 2, 1);
+  ASSERT_EQ(h.committed().size(), 1u);
+  EXPECT_EQ(h.committed()[0].ops.size(), 1u);
+  EXPECT_EQ(h.pending_jobs(), 0u);
+}
+
+TEST(HistoryTest, DiscardPendingDropsOps) {
+  History h;
+  Write(h, 1, 0, 0, 0);
+  h.DiscardPending(1);
+  Commit(h, 1, 2, 1);
+  ASSERT_EQ(h.committed().size(), 1u);
+  EXPECT_TRUE(h.committed()[0].ops.empty());
+}
+
+TEST(HistoryTest, CommitWithoutOps) {
+  History h;
+  Commit(h, 5, 1, 0);
+  ASSERT_EQ(h.committed().size(), 1u);
+  EXPECT_EQ(h.committed()[0].job, 5);
+}
+
+// --- SerializationGraph -----------------------------------------------------
+
+TEST(SerializationGraphTest, EmptyHistorySerializable) {
+  History h;
+  EXPECT_TRUE(IsSerializable(h));
+}
+
+TEST(SerializationGraphTest, SingleTxnSerializable) {
+  History h;
+  Read(h, 1, 0, 0, 0);
+  Write(h, 1, 0, 1, 1);
+  Commit(h, 1, 2, 2);
+  const auto graph = SerializationGraph::Build(h);
+  EXPECT_EQ(graph.node_count(), 1u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_TRUE(graph.CheckAcyclic().serializable);
+}
+
+TEST(SerializationGraphTest, ReadWriteEdgeDirection) {
+  History h;
+  Read(h, 1, 0, 0, 0);   // r1(x)
+  Write(h, 2, 0, 1, 1);  // w2(x) after
+  Commit(h, 1, 2, 2);
+  Commit(h, 2, 3, 3);
+  const auto graph = SerializationGraph::Build(h);
+  EXPECT_TRUE(graph.HasEdge(1, 2));
+  EXPECT_FALSE(graph.HasEdge(2, 1));
+}
+
+TEST(SerializationGraphTest, WriteWriteEdge) {
+  History h;
+  Write(h, 1, 0, 0, 0);
+  Write(h, 2, 0, 1, 1);
+  Commit(h, 1, 2, 2);
+  Commit(h, 2, 3, 3);
+  const auto graph = SerializationGraph::Build(h);
+  EXPECT_TRUE(graph.HasEdge(1, 2));
+}
+
+TEST(SerializationGraphTest, ReadsDoNotConflict) {
+  History h;
+  Read(h, 1, 0, 0, 0);
+  Read(h, 2, 0, 1, 1);
+  Commit(h, 1, 2, 2);
+  Commit(h, 2, 3, 3);
+  const auto graph = SerializationGraph::Build(h);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(SerializationGraphTest, OwnReadsExcluded) {
+  History h;
+  h.RecordRead(1, 0, 1, 1, Value{1, 0}, /*own_read=*/true);
+  Write(h, 2, 0, 0, 0);
+  Commit(h, 2, 2, 2);
+  Commit(h, 1, 3, 3);
+  const auto graph = SerializationGraph::Build(h);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(SerializationGraphTest, DetectsTwoCycle) {
+  History h;
+  Read(h, 1, 0, 0, 0);   // r1(x)
+  Read(h, 2, 1, 1, 1);   // r2(y)
+  Write(h, 2, 0, 2, 2);  // w2(x): 1 -> 2
+  Write(h, 1, 1, 3, 3);  // w1(y): 2 -> 1
+  Commit(h, 1, 4, 4);
+  Commit(h, 2, 5, 5);
+  const auto result = SerializationGraph::Build(h).CheckAcyclic();
+  EXPECT_FALSE(result.serializable);
+  EXPECT_GE(result.cycle.size(), 2u);
+}
+
+TEST(SerializationGraphTest, SerialOrderWitnessIsTopological) {
+  History h;
+  Read(h, 1, 0, 0, 0);
+  Write(h, 2, 0, 1, 1);  // 1 -> 2
+  Read(h, 3, 1, 2, 2);
+  Write(h, 1, 1, 3, 3);  // 3 -> 1
+  Commit(h, 1, 4, 4);
+  Commit(h, 2, 5, 5);
+  Commit(h, 3, 6, 6);
+  const auto graph = SerializationGraph::Build(h);
+  const auto result = graph.CheckAcyclic();
+  ASSERT_TRUE(result.serializable);
+  ASSERT_EQ(result.serial_order.size(), 3u);
+  // Every edge goes forward in the witness order.
+  auto pos = [&](JobId j) {
+    for (std::size_t i = 0; i < result.serial_order.size(); ++i) {
+      if (result.serial_order[i] == j) return i;
+    }
+    return std::size_t{999};
+  };
+  for (JobId from : graph.nodes()) {
+    for (JobId to : graph.successors(from)) {
+      EXPECT_LT(pos(from), pos(to));
+    }
+  }
+}
+
+TEST(SerializationGraphTest, ThreeCycleDetected) {
+  History h;
+  Read(h, 1, 0, 0, 0);
+  Write(h, 2, 0, 1, 1);  // 1->2
+  Read(h, 2, 1, 2, 2);
+  Write(h, 3, 1, 3, 3);  // 2->3
+  Read(h, 3, 2, 4, 4);
+  Write(h, 1, 2, 5, 5);  // 3->1
+  Commit(h, 1, 6, 6);
+  Commit(h, 2, 7, 7);
+  Commit(h, 3, 8, 8);
+  EXPECT_FALSE(IsSerializable(h));
+}
+
+TEST(SerializationGraphTest, TieBrokenBySeqWithinTick) {
+  History h;
+  Write(h, 1, 0, 5, 10);
+  Write(h, 2, 0, 5, 11);  // same tick, later seq
+  Commit(h, 1, 6, 12);
+  Commit(h, 2, 6, 13);
+  const auto graph = SerializationGraph::Build(h);
+  EXPECT_TRUE(graph.HasEdge(1, 2));
+  EXPECT_FALSE(graph.HasEdge(2, 1));
+}
+
+// --- Serialization-order constraints -----------------------------------------
+
+TEST(SerializationOrderTest, DerivesReaderBeforeWriter) {
+  History h;
+  Read(h, 1, 0, 0, 0);
+  Write(h, 2, 0, 3, 1);
+  Commit(h, 1, 2, 2);
+  Commit(h, 2, 4, 3);
+  const auto constraints = DeriveOrderConstraints(h);
+  ASSERT_EQ(constraints.size(), 1u);
+  EXPECT_EQ(constraints[0].reader, 1);
+  EXPECT_EQ(constraints[0].writer, 2);
+  EXPECT_EQ(constraints[0].item, 0);
+}
+
+TEST(SerializationOrderTest, NoConstraintWhenWriteFirst) {
+  History h;
+  Write(h, 2, 0, 0, 0);
+  Read(h, 1, 0, 1, 1);
+  Commit(h, 2, 2, 2);
+  Commit(h, 1, 3, 3);
+  EXPECT_TRUE(DeriveOrderConstraints(h).empty());
+}
+
+TEST(SerializationOrderTest, ViolationWhenReaderCommitsLate) {
+  History h;
+  Read(h, 1, 0, 0, 0);   // reader reads first...
+  Write(h, 2, 0, 1, 1);  // writer overwrites...
+  Commit(h, 2, 2, 2);    // and commits BEFORE the reader
+  Commit(h, 1, 3, 3);
+  const auto violations = FindCommitOrderViolations(h);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].reader, 1);
+}
+
+TEST(SerializationOrderTest, HonoredWhenReaderCommitsFirst) {
+  History h;
+  Read(h, 1, 0, 0, 0);
+  Commit(h, 1, 2, 1);
+  Write(h, 2, 0, 3, 2);
+  Commit(h, 2, 4, 3);
+  EXPECT_TRUE(FindCommitOrderViolations(h).empty());
+}
+
+TEST(SerializationOrderTest, OwnReadsCreateNoConstraints) {
+  History h;
+  h.RecordRead(1, 0, 0, 0, Value{1, 0}, /*own_read=*/true);
+  Write(h, 2, 0, 1, 1);
+  Commit(h, 2, 2, 2);
+  Commit(h, 1, 3, 3);
+  EXPECT_TRUE(DeriveOrderConstraints(h).empty());
+}
+
+}  // namespace
+}  // namespace pcpda

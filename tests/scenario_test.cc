@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/scenario.h"
+
+namespace pcpda {
+namespace {
+
+constexpr char kExample4Text[] = R"(
+# Example 4 of the paper (Figures 4 and 5)
+scenario example4
+horizon 12
+priority as-listed
+item x
+item y
+item z
+
+txn T1 offset=4
+  read x
+  compute 1
+end
+txn T2 offset=9
+  write y
+  compute 1
+end
+txn T3 offset=1
+  read z
+  write z
+end
+txn T4 offset=0
+  read y
+  write x
+  compute 3
+end
+)";
+
+TEST(ScenarioTest, ParsesExample4) {
+  const auto scenario = ParseScenario(kExample4Text);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  EXPECT_EQ(scenario->name, "example4");
+  EXPECT_EQ(scenario->horizon, 12);
+  EXPECT_EQ(scenario->set.size(), 4);
+  EXPECT_EQ(scenario->items.size(), 3u);
+  EXPECT_EQ(scenario->items.at("x"), 0);
+  EXPECT_EQ(scenario->items.at("z"), 2);
+  EXPECT_EQ(scenario->set.spec(3).body.size(), 3u);
+  EXPECT_EQ(scenario->set.spec(3).body[0], Read(1));
+}
+
+TEST(ScenarioTest, ParsedExample4BehavesLikeBuiltin) {
+  const auto scenario = ParseScenario(kExample4Text);
+  ASSERT_TRUE(scenario.ok());
+  const SimResult parsed =
+      RunWith(scenario->set, ProtocolKind::kPcpDa, scenario->horizon);
+  const PaperExample builtin = Example4();
+  const SimResult expected = RunExample(builtin, ProtocolKind::kPcpDa);
+  ASSERT_EQ(parsed.trace.ticks().size(), expected.trace.ticks().size());
+  for (std::size_t t = 0; t < parsed.trace.ticks().size(); ++t) {
+    EXPECT_EQ(parsed.trace.ticks()[t].running_spec,
+              expected.trace.ticks()[t].running_spec)
+        << "tick " << t;
+  }
+}
+
+TEST(ScenarioTest, AutoDeclaresItems) {
+  const auto scenario = ParseScenario(
+      "txn T period=10\n  read a\n  write b\nend\n");
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->items.size(), 2u);
+  EXPECT_EQ(scenario->set.item_count(), 2);
+}
+
+TEST(ScenarioTest, DurationsAndDeadlines) {
+  const auto scenario = ParseScenario(
+      "txn T period=20 offset=3 deadline=15\n"
+      "  read a 2\n  compute 5\n  write a 3\nend\n");
+  ASSERT_TRUE(scenario.ok());
+  const TransactionSpec& spec = scenario->set.spec(0);
+  EXPECT_EQ(spec.period, 20);
+  EXPECT_EQ(spec.offset, 3);
+  EXPECT_EQ(spec.relative_deadline, 15);
+  EXPECT_EQ(spec.ExecutionTime(), 10);
+  EXPECT_EQ(spec.body[0].duration, 2);
+}
+
+TEST(ScenarioTest, DefaultsRateMonotonic) {
+  const auto scenario = ParseScenario(
+      "txn slow period=50\n  compute 1\nend\n"
+      "txn fast period=10\n  compute 1\nend\n");
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->set.spec(0).name, "fast");
+}
+
+TEST(ScenarioTest, CommentsAndBlankLines) {
+  const auto scenario = ParseScenario(
+      "# header comment\n\n"
+      "txn T period=10   # trailing comment\n"
+      "  compute 1       # another\n"
+      "end\n");
+  ASSERT_TRUE(scenario.ok());
+}
+
+// --- Errors -------------------------------------------------------------
+
+TEST(ScenarioTest, ErrorsCarryLineNumbers) {
+  const auto scenario = ParseScenario("scenario s\nbogus directive\n");
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ScenarioTest, RejectsUnterminatedTxn) {
+  EXPECT_FALSE(ParseScenario("txn T period=10\n  compute 1\n").ok());
+}
+
+TEST(ScenarioTest, RejectsEmptyScenario) {
+  EXPECT_FALSE(ParseScenario("scenario empty\n").ok());
+}
+
+TEST(ScenarioTest, RejectsBadStep) {
+  EXPECT_FALSE(
+      ParseScenario("txn T period=10\n  fetch x\nend\n").ok());
+  EXPECT_FALSE(
+      ParseScenario("txn T period=10\n  compute zero\nend\n").ok());
+  EXPECT_FALSE(
+      ParseScenario("txn T period=10\n  compute -3\nend\n").ok());
+  EXPECT_FALSE(ParseScenario("txn T period=10\n  read\nend\n").ok());
+}
+
+TEST(ScenarioTest, RejectsBadAttributes) {
+  EXPECT_FALSE(ParseScenario("txn T cadence=10\n  compute 1\nend\n").ok());
+  EXPECT_FALSE(ParseScenario("txn T period\n  compute 1\nend\n").ok());
+  EXPECT_FALSE(
+      ParseScenario("priority fancy\ntxn T period=10\n  compute 1\nend\n")
+          .ok());
+  EXPECT_FALSE(
+      ParseScenario("horizon 0\ntxn T period=10\n  compute 1\nend\n")
+          .ok());
+}
+
+TEST(ScenarioTest, RejectsInvalidTransactionSet) {
+  // Duplicate names surface from TransactionSet::Create.
+  EXPECT_FALSE(ParseScenario("txn T period=10\n  compute 1\nend\n"
+                             "txn T period=20\n  compute 1\nend\n")
+                   .ok());
+}
+
+// --- Round trip -----------------------------------------------------------
+
+TEST(ScenarioTest, FormatRoundTrips) {
+  const PaperExample example = Example4();
+  const std::string text =
+      FormatScenario("roundtrip", example.set, example.horizon);
+  const auto scenario = ParseScenario(text);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString() << "\n"
+                             << text;
+  EXPECT_EQ(scenario->horizon, example.horizon);
+  ASSERT_EQ(scenario->set.size(), example.set.size());
+  for (SpecId i = 0; i < example.set.size(); ++i) {
+    EXPECT_EQ(scenario->set.spec(i).name, example.set.spec(i).name);
+    EXPECT_EQ(scenario->set.spec(i).body, example.set.spec(i).body);
+    EXPECT_EQ(scenario->set.spec(i).period, example.set.spec(i).period);
+    EXPECT_EQ(scenario->set.spec(i).offset, example.set.spec(i).offset);
+  }
+}
+
+TEST(ScenarioTest, LoadScenarioFileMissing) {
+  EXPECT_FALSE(LoadScenarioFile("/nonexistent/path.scn").ok());
+}
+
+}  // namespace
+}  // namespace pcpda

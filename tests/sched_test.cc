@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include "sched/inheritance.h"
+#include "sched/metrics.h"
+#include "sched/scheduler.h"
+#include "sched/wait_graph.h"
+#include "txn/job.h"
+#include "txn/spec.h"
+
+namespace pcpda {
+namespace {
+
+// --- WaitGraph ----------------------------------------------------------
+
+TEST(WaitGraphTest, EmptyHasNoCycle) {
+  WaitGraph graph;
+  EXPECT_FALSE(graph.FindCycle().has_value());
+  EXPECT_FALSE(graph.IsWaiting(1));
+  EXPECT_TRUE(graph.waiters().empty());
+}
+
+TEST(WaitGraphTest, SetAndClearWaits) {
+  WaitGraph graph;
+  graph.SetWaits(1, {2, 3});
+  EXPECT_TRUE(graph.IsWaiting(1));
+  EXPECT_EQ(graph.HoldersBlocking(1), (std::set<JobId>{2, 3}));
+  graph.ClearWaits(1);
+  EXPECT_FALSE(graph.IsWaiting(1));
+  graph.SetWaits(1, {2});
+  graph.SetWaits(1, {});  // empty holders == no wait
+  EXPECT_FALSE(graph.IsWaiting(1));
+}
+
+TEST(WaitGraphTest, ChainHasNoCycle) {
+  WaitGraph graph;
+  graph.SetWaits(1, {2});
+  graph.SetWaits(2, {3});
+  EXPECT_FALSE(graph.FindCycle().has_value());
+}
+
+TEST(WaitGraphTest, TwoCycle) {
+  WaitGraph graph;
+  graph.SetWaits(1, {2});
+  graph.SetWaits(2, {1});
+  auto cycle = graph.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(*cycle, (std::vector<JobId>{1, 2}));
+}
+
+TEST(WaitGraphTest, LongerCycleStartsAtSmallestId) {
+  WaitGraph graph;
+  graph.SetWaits(5, {7});
+  graph.SetWaits(7, {3});
+  graph.SetWaits(3, {5});
+  auto cycle = graph.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 3u);
+  EXPECT_EQ(cycle->front(), 3);
+}
+
+TEST(WaitGraphTest, SelfLoopDetected) {
+  WaitGraph graph;
+  graph.SetWaits(4, {4});
+  auto cycle = graph.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(*cycle, (std::vector<JobId>{4}));
+}
+
+TEST(WaitGraphTest, DiamondNoFalsePositive) {
+  WaitGraph graph;
+  graph.SetWaits(1, {2, 3});
+  graph.SetWaits(2, {4});
+  graph.SetWaits(3, {4});
+  EXPECT_FALSE(graph.FindCycle().has_value());
+}
+
+TEST(WaitGraphTest, CycleBesideAcyclicPart) {
+  WaitGraph graph;
+  graph.SetWaits(1, {2});
+  graph.SetWaits(10, {11});
+  graph.SetWaits(11, {10});
+  ASSERT_TRUE(graph.FindCycle().has_value());
+}
+
+TEST(WaitGraphTest, ClearRemovesEverything) {
+  WaitGraph graph;
+  graph.SetWaits(1, {2});
+  graph.Clear();
+  EXPECT_TRUE(graph.waiters().empty());
+  EXPECT_FALSE(graph.FindCycle().has_value());
+}
+
+// --- Priority inheritance --------------------------------------------------
+
+TEST(InheritanceTest, NoWaitsKeepsBase) {
+  std::map<JobId, Priority> base{{1, Priority(3)}, {2, Priority(1)}};
+  WaitGraph graph;
+  const auto running = ComputeRunningPriorities(base, graph, true);
+  EXPECT_EQ(running.at(1), Priority(3));
+  EXPECT_EQ(running.at(2), Priority(1));
+}
+
+TEST(InheritanceTest, DirectInheritance) {
+  std::map<JobId, Priority> base{{1, Priority(3)}, {2, Priority(1)}};
+  WaitGraph graph;
+  graph.SetWaits(1, {2});  // high waits on low
+  const auto running = ComputeRunningPriorities(base, graph, true);
+  EXPECT_EQ(running.at(2), Priority(3));
+  EXPECT_EQ(running.at(1), Priority(3));
+}
+
+TEST(InheritanceTest, TransitiveInheritance) {
+  std::map<JobId, Priority> base{
+      {1, Priority(5)}, {2, Priority(3)}, {3, Priority(1)}};
+  WaitGraph graph;
+  graph.SetWaits(1, {2});
+  graph.SetWaits(2, {3});
+  const auto running = ComputeRunningPriorities(base, graph, true);
+  EXPECT_EQ(running.at(3), Priority(5));
+}
+
+TEST(InheritanceTest, MaxOverMultipleWaiters) {
+  std::map<JobId, Priority> base{
+      {1, Priority(5)}, {2, Priority(4)}, {3, Priority(1)}};
+  WaitGraph graph;
+  graph.SetWaits(1, {3});
+  graph.SetWaits(2, {3});
+  const auto running = ComputeRunningPriorities(base, graph, true);
+  EXPECT_EQ(running.at(3), Priority(5));
+}
+
+TEST(InheritanceTest, LowerWaiterDoesNotLowerHolder) {
+  std::map<JobId, Priority> base{{1, Priority(1)}, {2, Priority(4)}};
+  WaitGraph graph;
+  graph.SetWaits(1, {2});  // low waits on high
+  const auto running = ComputeRunningPriorities(base, graph, true);
+  EXPECT_EQ(running.at(2), Priority(4));
+}
+
+TEST(InheritanceTest, DisabledKeepsBase) {
+  std::map<JobId, Priority> base{{1, Priority(3)}, {2, Priority(1)}};
+  WaitGraph graph;
+  graph.SetWaits(1, {2});
+  const auto running = ComputeRunningPriorities(base, graph, false);
+  EXPECT_EQ(running.at(2), Priority(1));
+}
+
+TEST(InheritanceTest, CycleConvergesToMax) {
+  std::map<JobId, Priority> base{{1, Priority(3)}, {2, Priority(1)}};
+  WaitGraph graph;
+  graph.SetWaits(1, {2});
+  graph.SetWaits(2, {1});
+  const auto running = ComputeRunningPriorities(base, graph, true);
+  EXPECT_EQ(running.at(1), Priority(3));
+  EXPECT_EQ(running.at(2), Priority(3));
+}
+
+TEST(InheritanceTest, StaleEdgesToDeadJobsIgnored) {
+  std::map<JobId, Priority> base{{1, Priority(3)}};
+  WaitGraph graph;
+  graph.SetWaits(1, {99});  // 99 is not a live job
+  graph.SetWaits(98, {1});  // dead waiter
+  const auto running = ComputeRunningPriorities(base, graph, true);
+  EXPECT_EQ(running.at(1), Priority(3));
+  EXPECT_EQ(running.size(), 1u);
+}
+
+// --- DispatchOrder -----------------------------------------------------
+
+class DispatchOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TransactionSpec hi{.name = "hi", .body = {Compute(2)}};
+    TransactionSpec lo{.name = "lo", .body = {Compute(2)}};
+    auto set = TransactionSet::Create({hi, lo},
+                                      PriorityAssignment::kAsListed);
+    ASSERT_TRUE(set.ok());
+    set_ = std::make_unique<TransactionSet>(std::move(set).value());
+  }
+
+  std::unique_ptr<TransactionSet> set_;
+};
+
+TEST_F(DispatchOrderTest, HigherRunningPriorityFirst) {
+  Job a(0, set_.get(), 1, 0, 0, kNoTick);  // lo spec
+  Job b(1, set_.get(), 0, 0, 0, kNoTick);  // hi spec
+  std::map<JobId, Priority> running{{0, set_->priority(1)},
+                                    {1, set_->priority(0)}};
+  const auto order = DispatchOrder({&a, &b}, running);
+  EXPECT_EQ(order[0], &b);
+  EXPECT_EQ(order[1], &a);
+}
+
+TEST_F(DispatchOrderTest, DonorBeforeInheritor) {
+  // Both at the inherited (hi) running priority: the job whose BASE is hi
+  // (the donor) is considered first.
+  Job lo_job(0, set_.get(), 1, 0, 0, kNoTick);
+  Job hi_job(1, set_.get(), 0, 0, 0, kNoTick);
+  std::map<JobId, Priority> running{{0, set_->priority(0)},
+                                    {1, set_->priority(0)}};
+  const auto order = DispatchOrder({&lo_job, &hi_job}, running);
+  EXPECT_EQ(order[0], &hi_job);
+}
+
+TEST_F(DispatchOrderTest, FifoWithinSpec) {
+  Job first(0, set_.get(), 0, 0, 0, kNoTick);
+  Job second(1, set_.get(), 0, 1, 5, kNoTick);
+  std::map<JobId, Priority> running{{0, set_->priority(0)},
+                                    {1, set_->priority(0)}};
+  const auto order = DispatchOrder({&second, &first}, running);
+  EXPECT_EQ(order[0], &first);
+}
+
+// --- Job -----------------------------------------------------------------
+
+class JobTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TransactionSpec spec{.name = "T",
+                         .body = {Read(0), Compute(2), Write(1)}};
+    auto set = TransactionSet::Create({spec});
+    ASSERT_TRUE(set.ok());
+    set_ = std::make_unique<TransactionSet>(std::move(set).value());
+  }
+
+  std::unique_ptr<TransactionSet> set_;
+};
+
+TEST_F(JobTest, ExecutesThroughBody) {
+  Job job(0, set_.get(), 0, 0, 3, 13);
+  EXPECT_EQ(job.RemainingWork(), 4);
+  EXPECT_EQ(job.current_step().kind, StepKind::kRead);
+  EXPECT_TRUE(job.ExecuteTick());  // read done
+  EXPECT_EQ(job.step_index(), 1u);
+  EXPECT_FALSE(job.ExecuteTick());  // compute 1/2
+  EXPECT_TRUE(job.ExecuteTick());   // compute 2/2
+  EXPECT_EQ(job.RemainingWork(), 1);
+  EXPECT_TRUE(job.ExecuteTick());  // write done
+  EXPECT_TRUE(job.BodyDone());
+  EXPECT_EQ(job.RemainingWork(), 0);
+}
+
+TEST_F(JobTest, CommitLifecycle) {
+  Job job(0, set_.get(), 0, 0, 3, 13);
+  while (!job.BodyDone()) job.ExecuteTick();
+  job.MarkCommitted(7);
+  EXPECT_EQ(job.state(), JobState::kCommitted);
+  EXPECT_EQ(job.commit_time(), 7);
+  EXPECT_FALSE(job.active());
+}
+
+TEST_F(JobTest, StepAdmissionFlagResetsPerStep) {
+  Job job(0, set_.get(), 0, 0, 0, kNoTick);
+  job.set_step_admitted(true);
+  EXPECT_TRUE(job.ExecuteTick());
+  EXPECT_FALSE(job.step_admitted());
+}
+
+TEST_F(JobTest, RestartResetsProgress) {
+  Job job(0, set_.get(), 0, 0, 0, kNoTick);
+  job.set_step_admitted(true);
+  job.ExecuteTick();
+  job.RecordRead(0);
+  job.workspace().Put(1, Value{0, 0});
+  job.RecordUndo(1, Value{});
+  job.ResetForRestart();
+  EXPECT_EQ(job.step_index(), 0u);
+  EXPECT_TRUE(job.data_read().empty());
+  EXPECT_TRUE(job.workspace().empty());
+  EXPECT_TRUE(job.undo_log().empty());
+  EXPECT_EQ(job.restarts(), 1);
+}
+
+TEST_F(JobTest, UndoLogKeepsOldestPreimage) {
+  Job job(0, set_.get(), 0, 0, 0, kNoTick);
+  job.RecordUndo(1, Value{7, 3});
+  job.RecordUndo(1, Value{8, 4});  // ignored: first write wins
+  EXPECT_EQ(job.undo_log().at(1).writer, 7);
+}
+
+TEST_F(JobTest, PrioritiesAndNames) {
+  Job job(0, set_.get(), 0, 2, 10, 20);
+  EXPECT_EQ(job.base_priority(), set_->priority(0));
+  EXPECT_EQ(job.running_priority(), set_->priority(0));
+  job.set_running_priority(Priority(99));
+  EXPECT_EQ(job.running_priority(), Priority(99));
+  EXPECT_EQ(job.DebugName(), "T#2");
+  EXPECT_EQ(job.write_set(), (std::set<ItemId>{1}));
+}
+
+// --- Metrics -----------------------------------------------------------
+
+TEST(MetricsTest, Totals) {
+  RunMetrics metrics;
+  metrics.per_spec.resize(2);
+  metrics.per_spec[0].released = 3;
+  metrics.per_spec[0].committed = 2;
+  metrics.per_spec[0].deadline_misses = 1;
+  metrics.per_spec[1].released = 2;
+  metrics.per_spec[1].committed = 2;
+  metrics.per_spec[1].restarts = 4;
+  EXPECT_EQ(metrics.TotalReleased(), 5);
+  EXPECT_EQ(metrics.TotalCommitted(), 4);
+  EXPECT_EQ(metrics.TotalMisses(), 1);
+  EXPECT_EQ(metrics.TotalRestarts(), 4);
+  EXPECT_FALSE(metrics.AllDeadlinesMet());
+  EXPECT_DOUBLE_EQ(metrics.MissRatio(), 0.2);
+}
+
+TEST(MetricsTest, EmptyMissRatio) {
+  RunMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.MissRatio(), 0.0);
+  EXPECT_TRUE(metrics.AllDeadlinesMet());
+}
+
+TEST(MetricsTest, MeanResponse) {
+  SpecMetrics m;
+  EXPECT_DOUBLE_EQ(m.MeanResponse(), 0.0);
+  m.committed = 4;
+  m.total_response = 10.0;
+  EXPECT_DOUBLE_EQ(m.MeanResponse(), 2.5);
+}
+
+}  // namespace
+}  // namespace pcpda

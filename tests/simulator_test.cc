@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "core/pcp_da.h"
+#include "history/serialization_graph.h"
+#include "protocols/two_pl_pi.h"
+#include "test_util.h"
+
+namespace pcpda {
+namespace {
+
+TransactionSet MakeSet(std::vector<TransactionSpec> specs,
+                       PriorityAssignment pa =
+                           PriorityAssignment::kAsListed) {
+  auto set = TransactionSet::Create(std::move(specs), pa);
+  EXPECT_TRUE(set.ok()) << set.status().ToString();
+  return std::move(set).value();
+}
+
+TEST(SimulatorTest, RejectsZeroHorizon) {
+  TransactionSet set = MakeSet({{.name = "T", .body = {Compute(1)}}});
+  PcpDa protocol;
+  Simulator sim(&set, &protocol, SimulatorOptions{});
+  const SimResult result = sim.Run();
+  EXPECT_FALSE(result.status.ok());
+}
+
+TEST(SimulatorTest, SingleComputeJobRunsToCommit) {
+  TransactionSet set =
+      MakeSet({{.name = "T", .offset = 2, .body = {Compute(3)}}});
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 10);
+  ASSERT_TRUE(result.status.ok());
+  const auto& m = result.metrics.per_spec[0];
+  EXPECT_EQ(m.released, 1);
+  EXPECT_EQ(m.committed, 1);
+  EXPECT_EQ(m.busy_ticks, 3);
+  EXPECT_EQ(CommitTime(result, 0, 0), 5);
+  EXPECT_EQ(result.metrics.idle_ticks, 10 - 3);
+}
+
+TEST(SimulatorTest, PeriodicReleases) {
+  TransactionSet set =
+      MakeSet({{.name = "T", .period = 4, .body = {Compute(1)}}});
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 12);
+  EXPECT_EQ(result.metrics.per_spec[0].released, 3);
+  EXPECT_EQ(result.metrics.per_spec[0].committed, 3);
+  EXPECT_TRUE(result.metrics.AllDeadlinesMet());
+}
+
+TEST(SimulatorTest, HigherPriorityPreempts) {
+  TransactionSet set = MakeSet({
+      {.name = "hi", .offset = 2, .body = {Compute(2)}},
+      {.name = "lo", .offset = 0, .body = {Compute(6)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 12);
+  // lo runs [0,2), hi preempts [2,4), lo resumes [4,8).
+  EXPECT_EQ(CommitTime(result, 0, 0), 4);
+  EXPECT_EQ(CommitTime(result, 1, 0), 8);
+  EXPECT_EQ(result.metrics.per_spec[1].preempted_ticks, 2);
+  EXPECT_EQ(result.metrics.per_spec[1].blocked_ticks, 0);
+}
+
+TEST(SimulatorTest, DeadlineMissRecordedOnceAndJobContinues) {
+  // C=5 but deadline (=period) is 4.
+  TransactionSpec t{.name = "T", .period = 8, .body = {Compute(5)}};
+  t.relative_deadline = 4;
+  TransactionSet set = MakeSet({t});
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 8);
+  EXPECT_EQ(result.metrics.per_spec[0].deadline_misses, 1);
+  EXPECT_EQ(result.metrics.per_spec[0].committed, 1);
+  EXPECT_EQ(CommitTime(result, 0, 0), 5);
+  EXPECT_EQ(result.trace.EventsOfKind(TraceKind::kDeadlineMiss).size(), 1u);
+}
+
+TEST(SimulatorTest, DeadlineMissDropPolicy) {
+  TransactionSpec t{.name = "T", .period = 8, .body = {Compute(5)}};
+  t.relative_deadline = 4;
+  TransactionSpec hog{.name = "hog", .offset = 0, .body = {Compute(4)}};
+  // hog has higher listed priority, starving T past its deadline.
+  TransactionSet set = MakeSet({hog, t});
+  auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+  SimulatorOptions options;
+  options.horizon = 8;
+  options.miss_policy = DeadlineMissPolicy::kDrop;
+  Simulator sim(&set, protocol.get(), options);
+  const SimResult result = sim.Run();
+  EXPECT_EQ(result.metrics.per_spec[1].deadline_misses, 1);
+  EXPECT_EQ(result.metrics.per_spec[1].dropped, 1);
+  EXPECT_EQ(result.metrics.per_spec[1].committed, 0);
+}
+
+TEST(SimulatorTest, DeadlineMissHaltPolicy) {
+  TransactionSpec t{.name = "T", .period = 6, .body = {Compute(5)}};
+  t.relative_deadline = 2;
+  TransactionSet set = MakeSet({t});
+  auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+  SimulatorOptions options;
+  options.horizon = 20;
+  options.miss_policy = DeadlineMissPolicy::kHalt;
+  Simulator sim(&set, protocol.get(), options);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.metrics.halted_on_miss);
+  EXPECT_LT(result.trace.ticks().size(), 20u);
+}
+
+TEST(SimulatorTest, ReadObservesCommittedValue) {
+  // writer (higher priority) commits, then reader reads the new value.
+  TransactionSet set = MakeSet({
+      {.name = "W", .offset = 0, .body = {Write(0)}},
+      {.name = "R", .offset = 0, .body = {Read(0)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 10);
+  ASSERT_EQ(result.history.committed().size(), 2u);
+  const CommittedTxn* reader = nullptr;
+  for (const auto& txn : result.history.committed()) {
+    if (txn.spec == 1) reader = &txn;
+  }
+  ASSERT_NE(reader, nullptr);
+  ASSERT_EQ(reader->ops.size(), 1u);
+  EXPECT_EQ(reader->ops[0].observed.writer, 0);  // job 0 = writer
+}
+
+TEST(SimulatorTest, OwnWorkspaceReadAfterWrite) {
+  TransactionSet set = MakeSet({
+      {.name = "T", .offset = 0, .body = {Write(0), Read(0)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 10);
+  ASSERT_EQ(result.history.committed().size(), 1u);
+  const auto& ops = result.history.committed()[0].ops;
+  // write (at commit), read (own).
+  bool saw_own_read = false;
+  for (const HistoryOp& op : ops) {
+    if (op.kind == HistoryOp::Kind::kRead) {
+      EXPECT_TRUE(op.own_read);
+      EXPECT_EQ(op.observed.writer, 0);
+      saw_own_read = true;
+    }
+  }
+  EXPECT_TRUE(saw_own_read);
+}
+
+TEST(SimulatorTest, WorkspaceWritesApplyAtCommitOnly) {
+  // Reader samples x while the lower-priority writer is mid-transaction.
+  TransactionSet set = MakeSet({
+      {.name = "R", .offset = 1, .body = {Read(0)}},
+      {.name = "W", .offset = 0, .body = {Write(0), Compute(3)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 10);
+  const CommittedTxn* reader = nullptr;
+  for (const auto& txn : result.history.committed()) {
+    if (txn.spec == 0) reader = &txn;
+  }
+  ASSERT_NE(reader, nullptr);
+  // The write was pending in W's workspace: R saw the initial value.
+  EXPECT_EQ(reader->ops[0].observed.writer, kInvalidJob);
+  EXPECT_TRUE(IsSerializable(result.history));
+}
+
+TEST(SimulatorTest, InPlaceWritesApplyImmediately) {
+  TransactionSet set = MakeSet({
+      {.name = "W", .offset = 0, .body = {Write(0)}},
+      {.name = "R", .offset = 0, .body = {Read(0)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlPi, 10);
+  const CommittedTxn* reader = nullptr;
+  for (const auto& txn : result.history.committed()) {
+    if (txn.spec == 1) reader = &txn;
+  }
+  ASSERT_NE(reader, nullptr);
+  EXPECT_EQ(reader->ops[0].observed.writer, 0);
+}
+
+TEST(SimulatorTest, TraceTicksCoverHorizon) {
+  TransactionSet set = MakeSet({{.name = "T", .body = {Compute(1)}}});
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 7);
+  EXPECT_EQ(result.trace.ticks().size(), 7u);
+  for (std::size_t t = 0; t < 7; ++t) {
+    EXPECT_EQ(result.trace.ticks()[t].tick, static_cast<Tick>(t));
+  }
+}
+
+TEST(SimulatorTest, ResponseTimeMetrics) {
+  TransactionSet set = MakeSet({
+      {.name = "hi", .period = 5, .body = {Compute(1)}},
+      {.name = "lo", .period = 10, .body = {Compute(3)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 10);
+  EXPECT_EQ(result.metrics.per_spec[0].max_response, 1);
+  // lo: runs [1,4) after hi's first instance -> response 4.
+  EXPECT_EQ(result.metrics.per_spec[1].max_response, 4);
+}
+
+TEST(SimulatorTest, RecordingCanBeDisabled) {
+  TransactionSet set = MakeSet({{.name = "T", .body = {Read(0)}}});
+  auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+  SimulatorOptions options;
+  options.horizon = 5;
+  options.record_trace = false;
+  options.record_history = false;
+  Simulator sim(&set, protocol.get(), options);
+  const SimResult result = sim.Run();
+  EXPECT_TRUE(result.trace.events().empty());
+  EXPECT_TRUE(result.trace.ticks().empty());
+  EXPECT_TRUE(result.history.committed().empty());
+  EXPECT_EQ(result.metrics.per_spec[0].committed, 1);
+}
+
+TEST(SimulatorTest, LockReacquisitionNotNeededWithinJob) {
+  // Read x twice: the second read reuses the held lock.
+  TransactionSet set =
+      MakeSet({{.name = "T", .body = {Read(0), Compute(1), Read(0)}}});
+  const SimResult result = RunWith(set, ProtocolKind::kPcpDa, 10);
+  EXPECT_EQ(result.trace.EventsOfKind(TraceKind::kLockGrant).size(), 1u);
+  EXPECT_EQ(result.metrics.per_spec[0].committed, 1);
+}
+
+TEST(SimulatorTest, LocksReleasedAtCommit) {
+  TransactionSet set = MakeSet({
+      {.name = "A", .offset = 0, .body = {Write(0)}},
+      {.name = "B", .offset = 2, .body = {Write(0)}},
+  });
+  const SimResult result = RunWith(set, ProtocolKind::kTwoPlPi, 10);
+  EXPECT_EQ(result.metrics.per_spec[1].committed, 1);
+  EXPECT_EQ(result.metrics.per_spec[1].blocked_ticks, 0);
+}
+
+}  // namespace
+}  // namespace pcpda

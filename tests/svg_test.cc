@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "trace/svg.h"
+
+namespace pcpda {
+namespace {
+
+std::size_t Count(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SvgTest, WellFormedDocument) {
+  const PaperExample example = Example4();
+  const SimResult result = RunExample(example, ProtocolKind::kPcpDa);
+  const std::string svg = RenderSvg(example.set, result.trace);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Balanced rect/line/text elements are all self-closing or simple.
+  EXPECT_EQ(Count(svg, "<svg"), 1u);
+}
+
+TEST(SvgTest, OneRowLabelPerSpec) {
+  const PaperExample example = Example4();
+  const SimResult result = RunExample(example, ProtocolKind::kPcpDa);
+  const std::string svg = RenderSvg(example.set, result.trace);
+  for (SpecId i = 0; i < example.set.size(); ++i) {
+    EXPECT_NE(svg.find(">" + example.set.spec(i).name + "<"),
+              std::string::npos);
+  }
+}
+
+TEST(SvgTest, ExecutionCellsMatchBusyTicks) {
+  const PaperExample example = Example1();
+  const SimResult result = RunExample(example, ProtocolKind::kRwPcp);
+  const std::string svg = RenderSvg(example.set, result.trace);
+  Tick busy = 0;
+  for (const auto& m : result.metrics.per_spec) busy += m.busy_ticks;
+  // One colored rect per executed tick (blocked cells use the pattern).
+  const std::size_t colored = Count(svg, "fill=\"#4e9a06\"") +
+                              Count(svg, "fill=\"#c4500e\"") +
+                              Count(svg, "fill=\"#3465a4\"");
+  EXPECT_EQ(colored, static_cast<std::size_t>(busy));
+}
+
+TEST(SvgTest, BlockedCellsUsePattern) {
+  const PaperExample example = Example3();
+  const SimResult result = RunExample(example, ProtocolKind::kRwPcp);
+  const std::string svg = RenderSvg(example.set, result.trace);
+  Tick blocked = 0;
+  for (const auto& m : result.metrics.per_spec) blocked += m.blocked_ticks;
+  EXPECT_EQ(Count(svg, "url(#blocked)"),
+            static_cast<std::size_t>(blocked));
+}
+
+TEST(SvgTest, CeilingLineToggle) {
+  const PaperExample example = Example4();
+  const SimResult result = RunExample(example, ProtocolKind::kRwPcp);
+  SvgOptions with;
+  SvgOptions without;
+  without.show_ceiling = false;
+  EXPECT_NE(RenderSvg(example.set, result.trace, with).find("Max_Sysceil"),
+            std::string::npos);
+  EXPECT_EQ(
+      RenderSvg(example.set, result.trace, without).find("Max_Sysceil"),
+      std::string::npos);
+}
+
+TEST(SvgTest, TitleRendered) {
+  const PaperExample example = Example1();
+  const SimResult result = RunExample(example, ProtocolKind::kPcpDa);
+  SvgOptions options;
+  options.title = "Figure 1";
+  const std::string svg = RenderSvg(example.set, result.trace, options);
+  EXPECT_NE(svg.find("Figure 1"), std::string::npos);
+}
+
+TEST(SvgTest, MissMarkerPresent) {
+  const PaperExample example = Example3();
+  const SimResult result = RunExample(example, ProtocolKind::kRwPcp);
+  const std::string svg = RenderSvg(example.set, result.trace);
+  EXPECT_NE(svg.find("font-weight=\"bold\">x</text>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcpda

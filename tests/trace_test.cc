@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "trace/csv.h"
+#include "trace/gantt.h"
+#include "trace/trace.h"
+
+namespace pcpda {
+namespace {
+
+// --- Trace container ---------------------------------------------------
+
+TEST(TraceTest, EventQueries) {
+  Trace trace;
+  TraceEvent arrival;
+  arrival.tick = 0;
+  arrival.kind = TraceKind::kArrival;
+  arrival.job = 1;
+  arrival.spec = 0;
+  trace.AddEvent(arrival);
+  TraceEvent commit = arrival;
+  commit.tick = 5;
+  commit.kind = TraceKind::kCommit;
+  trace.AddEvent(commit);
+
+  EXPECT_EQ(trace.EventsOfKind(TraceKind::kArrival).size(), 1u);
+  EXPECT_EQ(trace.EventsOfKind(TraceKind::kCommit, 0).size(), 1u);
+  EXPECT_TRUE(trace.EventsOfKind(TraceKind::kCommit, 1).empty());
+  ASSERT_TRUE(trace.FirstEvent(TraceKind::kCommit, 1).has_value());
+  EXPECT_EQ(trace.FirstEvent(TraceKind::kCommit, 1)->tick, 5);
+  EXPECT_FALSE(trace.FirstEvent(TraceKind::kRestart, 1).has_value());
+}
+
+TEST(TraceTest, TickQueries) {
+  Trace trace;
+  for (Tick t = 0; t < 4; ++t) {
+    TickRecord record;
+    record.tick = t;
+    record.running_job = t < 2 ? 7 : kInvalidJob;
+    record.running_spec = t < 2 ? 1 : kInvalidSpec;
+    record.ceiling = t == 1 ? Priority(3) : Priority::Dummy();
+    if (t == 2) {
+      BlockedSample sample;
+      sample.job = 9;
+      sample.spec = 0;
+      record.blocked.push_back(sample);
+    }
+    trace.AddTick(record);
+  }
+  EXPECT_EQ(trace.RunningSpecAt(0), 1);
+  EXPECT_EQ(trace.RunningSpecAt(3), kInvalidSpec);
+  EXPECT_EQ(trace.RunningSpecAt(99), kInvalidSpec);
+  EXPECT_EQ(trace.RunningTicks(1), 2);
+  EXPECT_EQ(trace.BlockedTicks(9), 1);
+  EXPECT_EQ(trace.BlockedTicks(7), 0);
+  EXPECT_EQ(trace.MaxCeiling(), Priority(3));
+}
+
+TEST(TraceTest, EventDebugString) {
+  TraceEvent e;
+  e.tick = 3;
+  e.kind = TraceKind::kBlock;
+  e.job = 2;
+  e.spec = 1;
+  e.item = 4;
+  e.mode = LockMode::kWrite;
+  e.reason = BlockReason::kCeiling;
+  e.others = {5, 6};
+  e.note = "LC-denied";
+  const std::string s = e.DebugString();
+  EXPECT_NE(s.find("block"), std::string::npos);
+  EXPECT_NE(s.find("d4"), std::string::npos);
+  EXPECT_NE(s.find("ceiling"), std::string::npos);
+  EXPECT_NE(s.find("LC-denied"), std::string::npos);
+}
+
+// --- Gantt -----------------------------------------------------------------
+
+TEST(GanttTest, Example4PcpDaChart) {
+  const PaperExample example = Example4();
+  const SimResult result = RunExample(example, ProtocolKind::kPcpDa);
+  const std::string chart = RenderGantt(example.set, result.trace);
+  // Every transaction row present.
+  for (SpecId i = 0; i < example.set.size(); ++i) {
+    EXPECT_NE(chart.find(example.set.spec(i).name), std::string::npos);
+  }
+  EXPECT_NE(chart.find("ceiling"), std::string::npos);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+  // T4 row starts with a read tick at t=0.
+  const auto t4_pos = chart.find("T4");
+  ASSERT_NE(t4_pos, std::string::npos);
+  const std::string t4_row = chart.substr(t4_pos, 30);
+  EXPECT_EQ(t4_row[t4_row.find('|') + 1], 'r');
+}
+
+TEST(GanttTest, BlockedShownAsB) {
+  const PaperExample example = Example3();
+  const SimResult result = RunExample(example, ProtocolKind::kRwPcp);
+  const std::string chart = RenderGantt(example.set, result.trace);
+  // T1 is blocked t=1..5 under RW-PCP: its row contains 'B'.
+  const auto t1_pos = chart.find("T1");
+  const auto line_end = chart.find('\n', t1_pos);
+  const std::string t1_row = chart.substr(t1_pos, line_end - t1_pos);
+  EXPECT_NE(t1_row.find('B'), std::string::npos) << chart;
+  EXPECT_NE(t1_row.find('!'), std::string::npos) << chart;  // miss marker
+}
+
+TEST(GanttTest, OptionsDisableRows) {
+  const PaperExample example = Example1();
+  const SimResult result = RunExample(example, ProtocolKind::kPcpDa);
+  GanttOptions options;
+  options.show_ceiling = false;
+  options.show_legend = false;
+  const std::string chart = RenderGantt(example.set, result.trace, options);
+  EXPECT_EQ(chart.find("ceiling"), std::string::npos);
+  EXPECT_EQ(chart.find("legend"), std::string::npos);
+}
+
+// --- CSV -----------------------------------------------------------------
+
+TEST(CsvTest, EventsCsvWellFormed) {
+  const PaperExample example = Example1();
+  const SimResult result = RunExample(example, ProtocolKind::kRwPcp);
+  const std::string csv = TraceEventsCsv(result.trace);
+  EXPECT_EQ(csv.find("tick,kind,job"), 0u);
+  // Header + one line per event.
+  const std::size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, result.trace.events().size() + 1);
+}
+
+TEST(CsvTest, ScheduleCsvHasOneRowPerTick) {
+  const PaperExample example = Example1();
+  const SimResult result = RunExample(example, ProtocolKind::kRwPcp);
+  const std::string csv = ScheduleCsv(example.set, result.trace);
+  const std::size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, result.trace.ticks().size() + 1);
+  EXPECT_NE(csv.find("T3"), std::string::npos);
+}
+
+TEST(CsvTest, MetricsCsvHasOneRowPerSpec) {
+  const PaperExample example = Example4();
+  const SimResult result = RunExample(example, ProtocolKind::kPcpDa);
+  const std::string csv = MetricsCsv(example.set, result.metrics);
+  const std::size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, static_cast<std::size_t>(example.set.size()) + 1);
+}
+
+}  // namespace
+}  // namespace pcpda

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "db/ceilings.h"
+#include "workload/generator.h"
+#include "workload/paper_examples.h"
+
+namespace pcpda {
+namespace {
+
+// --- UUniFast -----------------------------------------------------------
+
+TEST(UUniFastTest, SumsToTotal) {
+  Rng rng(1);
+  for (int n : {1, 2, 5, 20}) {
+    const auto u = UUniFast(n, 0.7, rng);
+    ASSERT_EQ(u.size(), static_cast<std::size_t>(n));
+    double sum = 0;
+    for (double v : u) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 0.7 + 1e-9);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 0.7, 1e-9);
+  }
+}
+
+TEST(UUniFastTest, SingleTransactionGetsEverything) {
+  Rng rng(2);
+  const auto u = UUniFast(1, 0.5, rng);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_DOUBLE_EQ(u[0], 0.5);
+}
+
+// --- GenerateWorkload ------------------------------------------------------
+
+TEST(GeneratorTest, ValidatesParams) {
+  Rng rng(3);
+  WorkloadParams params;
+  params.num_transactions = 0;
+  EXPECT_FALSE(GenerateWorkload(params, rng).ok());
+  params = {};
+  params.num_items = 0;
+  EXPECT_FALSE(GenerateWorkload(params, rng).ok());
+  params = {};
+  params.total_utilization = 0.0;
+  EXPECT_FALSE(GenerateWorkload(params, rng).ok());
+  params = {};
+  params.total_utilization = 1.5;
+  EXPECT_FALSE(GenerateWorkload(params, rng).ok());
+  params = {};
+  params.min_period = 100;
+  params.max_period = 50;
+  EXPECT_FALSE(GenerateWorkload(params, rng).ok());
+  params = {};
+  params.min_ops = 5;
+  params.max_ops = 2;
+  EXPECT_FALSE(GenerateWorkload(params, rng).ok());
+}
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  Rng rng(4);
+  WorkloadParams params;
+  params.num_transactions = 10;
+  params.num_items = 15;
+  const auto set = GenerateWorkload(params, rng);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 10);
+  EXPECT_LE(set->item_count(), 15);
+  for (SpecId i = 0; i < set->size(); ++i) {
+    const TransactionSpec& spec = set->spec(i);
+    EXPECT_GE(spec.period, params.min_period);
+    EXPECT_LE(spec.period, params.max_period);
+    EXPECT_GE(spec.offset, 0);
+    EXPECT_LT(spec.offset, spec.period);
+    const auto ops = spec.AccessSet().size();
+    EXPECT_GE(static_cast<int>(ops), 1);
+    EXPECT_LE(static_cast<int>(ops), params.max_ops);
+    EXPECT_LE(spec.ExecutionTime(), spec.period);
+  }
+}
+
+TEST(GeneratorTest, RateMonotonicOrder) {
+  Rng rng(5);
+  WorkloadParams params;
+  const auto set = GenerateWorkload(params, rng);
+  ASSERT_TRUE(set.ok());
+  for (SpecId i = 1; i < set->size(); ++i) {
+    EXPECT_LE(set->spec(i - 1).period, set->spec(i).period);
+  }
+}
+
+TEST(GeneratorTest, UtilizationNearTarget) {
+  Rng rng(6);
+  WorkloadParams params;
+  params.num_transactions = 12;
+  params.total_utilization = 0.6;
+  params.min_period = 100;
+  params.max_period = 2000;
+  const auto set = GenerateWorkload(params, rng);
+  ASSERT_TRUE(set.ok());
+  // Rounding and the >=1-tick-per-op floor move the total a bit.
+  EXPECT_NEAR(set->Utilization(), 0.6, 0.15);
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  WorkloadParams params;
+  Rng a(42), b(42);
+  const auto set_a = GenerateWorkload(params, a);
+  const auto set_b = GenerateWorkload(params, b);
+  ASSERT_TRUE(set_a.ok());
+  ASSERT_TRUE(set_b.ok());
+  EXPECT_EQ(set_a->DebugString(), set_b->DebugString());
+  Rng c(43);
+  const auto set_c = GenerateWorkload(params, c);
+  ASSERT_TRUE(set_c.ok());
+  EXPECT_NE(set_a->DebugString(), set_c->DebugString());
+}
+
+TEST(GeneratorTest, WriteFractionExtremes) {
+  WorkloadParams params;
+  params.write_fraction = 0.0;
+  Rng rng(7);
+  auto read_only = GenerateWorkload(params, rng);
+  ASSERT_TRUE(read_only.ok());
+  for (SpecId i = 0; i < read_only->size(); ++i) {
+    EXPECT_TRUE(read_only->spec(i).WriteSet().empty());
+  }
+  params.write_fraction = 1.0;
+  auto write_only = GenerateWorkload(params, rng);
+  ASSERT_TRUE(write_only.ok());
+  for (SpecId i = 0; i < write_only->size(); ++i) {
+    EXPECT_TRUE(write_only->spec(i).ReadSet().empty());
+  }
+}
+
+// --- Paper examples ---------------------------------------------------------
+
+TEST(PaperExamplesTest, Example1Shape) {
+  const PaperExample example = Example1();
+  EXPECT_EQ(example.set.size(), 3);
+  EXPECT_EQ(example.set.spec(0).name, "T1");
+  EXPECT_EQ(example.set.spec(2).WriteSet(), (std::set<ItemId>{kItemX}));
+  EXPECT_GT(example.set.priority(0), example.set.priority(2));
+}
+
+TEST(PaperExamplesTest, Example3Shape) {
+  const PaperExample example = Example3();
+  EXPECT_EQ(example.set.size(), 2);
+  EXPECT_EQ(example.set.spec(0).period, 5);
+  EXPECT_EQ(example.set.spec(0).ExecutionTime(), 2);
+  EXPECT_EQ(example.set.spec(1).ExecutionTime(), 5);
+}
+
+TEST(PaperExamplesTest, Example4CeilingsMatchPaper) {
+  const PaperExample example = Example4();
+  const StaticCeilings ceilings(example.set);
+  EXPECT_EQ(ceilings.Wceil(kItemY), example.set.priority(1));  // P2
+  EXPECT_EQ(ceilings.Wceil(kItemZ), example.set.priority(2));  // P3
+}
+
+TEST(PaperExamplesTest, Example5CrossedAccess) {
+  const PaperExample example = Example5();
+  EXPECT_EQ(example.set.spec(0).WriteSet(), (std::set<ItemId>{kItemX}));
+  EXPECT_EQ(example.set.spec(1).WriteSet(), (std::set<ItemId>{kItemY}));
+  EXPECT_EQ(example.set.spec(0).ReadSet(), (std::set<ItemId>{kItemY}));
+  EXPECT_EQ(example.set.spec(1).ReadSet(), (std::set<ItemId>{kItemX}));
+}
+
+}  // namespace
+}  // namespace pcpda
