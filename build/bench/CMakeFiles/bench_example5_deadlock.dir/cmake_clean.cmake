@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example5_deadlock.dir/bench_example5_deadlock.cc.o"
+  "CMakeFiles/bench_example5_deadlock.dir/bench_example5_deadlock.cc.o.d"
+  "bench_example5_deadlock"
+  "bench_example5_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example5_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

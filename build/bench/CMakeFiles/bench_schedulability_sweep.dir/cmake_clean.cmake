@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schedulability_sweep.dir/bench_schedulability_sweep.cc.o"
+  "CMakeFiles/bench_schedulability_sweep.dir/bench_schedulability_sweep.cc.o.d"
+  "bench_schedulability_sweep"
+  "bench_schedulability_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schedulability_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec9_blocking.dir/bench_sec9_blocking.cc.o"
+  "CMakeFiles/bench_sec9_blocking.dir/bench_sec9_blocking.cc.o.d"
+  "bench_sec9_blocking"
+  "bench_sec9_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec9_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_sweep.dir/bench_sim_sweep.cc.o"
+  "CMakeFiles/bench_sim_sweep.dir/bench_sim_sweep.cc.o.d"
+  "bench_sim_sweep"
+  "bench_sim_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

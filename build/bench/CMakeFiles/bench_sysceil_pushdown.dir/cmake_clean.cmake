@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sysceil_pushdown.dir/bench_sysceil_pushdown.cc.o"
+  "CMakeFiles/bench_sysceil_pushdown.dir/bench_sysceil_pushdown.cc.o.d"
+  "bench_sysceil_pushdown"
+  "bench_sysceil_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sysceil_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedulability_report.dir/schedulability_report.cpp.o"
+  "CMakeFiles/schedulability_report.dir/schedulability_report.cpp.o.d"
+  "schedulability_report"
+  "schedulability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedulability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

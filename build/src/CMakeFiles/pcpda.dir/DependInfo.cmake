@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/blocking.cc" "src/CMakeFiles/pcpda.dir/analysis/blocking.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/analysis/blocking.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/CMakeFiles/pcpda.dir/analysis/report.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/analysis/report.cc.o.d"
+  "/root/repo/src/analysis/response_time.cc" "src/CMakeFiles/pcpda.dir/analysis/response_time.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/analysis/response_time.cc.o.d"
+  "/root/repo/src/analysis/rm_bound.cc" "src/CMakeFiles/pcpda.dir/analysis/rm_bound.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/analysis/rm_bound.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/pcpda.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/pcpda.dir/common/status.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/pcpda.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/lock_compat.cc" "src/CMakeFiles/pcpda.dir/core/lock_compat.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/core/lock_compat.cc.o.d"
+  "/root/repo/src/core/pcp_da.cc" "src/CMakeFiles/pcpda.dir/core/pcp_da.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/core/pcp_da.cc.o.d"
+  "/root/repo/src/core/serialization_order.cc" "src/CMakeFiles/pcpda.dir/core/serialization_order.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/core/serialization_order.cc.o.d"
+  "/root/repo/src/db/ceilings.cc" "src/CMakeFiles/pcpda.dir/db/ceilings.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/db/ceilings.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/pcpda.dir/db/database.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/db/database.cc.o.d"
+  "/root/repo/src/db/lock_table.cc" "src/CMakeFiles/pcpda.dir/db/lock_table.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/db/lock_table.cc.o.d"
+  "/root/repo/src/history/history.cc" "src/CMakeFiles/pcpda.dir/history/history.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/history/history.cc.o.d"
+  "/root/repo/src/history/replay_checker.cc" "src/CMakeFiles/pcpda.dir/history/replay_checker.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/history/replay_checker.cc.o.d"
+  "/root/repo/src/history/serialization_graph.cc" "src/CMakeFiles/pcpda.dir/history/serialization_graph.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/history/serialization_graph.cc.o.d"
+  "/root/repo/src/protocols/ccp.cc" "src/CMakeFiles/pcpda.dir/protocols/ccp.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/protocols/ccp.cc.o.d"
+  "/root/repo/src/protocols/factory.cc" "src/CMakeFiles/pcpda.dir/protocols/factory.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/protocols/factory.cc.o.d"
+  "/root/repo/src/protocols/occ.cc" "src/CMakeFiles/pcpda.dir/protocols/occ.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/protocols/occ.cc.o.d"
+  "/root/repo/src/protocols/opcp.cc" "src/CMakeFiles/pcpda.dir/protocols/opcp.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/protocols/opcp.cc.o.d"
+  "/root/repo/src/protocols/protocol.cc" "src/CMakeFiles/pcpda.dir/protocols/protocol.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/protocols/protocol.cc.o.d"
+  "/root/repo/src/protocols/rw_pcp.cc" "src/CMakeFiles/pcpda.dir/protocols/rw_pcp.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/protocols/rw_pcp.cc.o.d"
+  "/root/repo/src/protocols/two_pl_hp.cc" "src/CMakeFiles/pcpda.dir/protocols/two_pl_hp.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/protocols/two_pl_hp.cc.o.d"
+  "/root/repo/src/protocols/two_pl_pi.cc" "src/CMakeFiles/pcpda.dir/protocols/two_pl_pi.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/protocols/two_pl_pi.cc.o.d"
+  "/root/repo/src/sched/inheritance.cc" "src/CMakeFiles/pcpda.dir/sched/inheritance.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/sched/inheritance.cc.o.d"
+  "/root/repo/src/sched/metrics.cc" "src/CMakeFiles/pcpda.dir/sched/metrics.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/sched/metrics.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/pcpda.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/simulator.cc" "src/CMakeFiles/pcpda.dir/sched/simulator.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/sched/simulator.cc.o.d"
+  "/root/repo/src/sched/wait_graph.cc" "src/CMakeFiles/pcpda.dir/sched/wait_graph.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/sched/wait_graph.cc.o.d"
+  "/root/repo/src/sim/arrival_schedule.cc" "src/CMakeFiles/pcpda.dir/sim/arrival_schedule.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/sim/arrival_schedule.cc.o.d"
+  "/root/repo/src/sim/calendar.cc" "src/CMakeFiles/pcpda.dir/sim/calendar.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/sim/calendar.cc.o.d"
+  "/root/repo/src/trace/csv.cc" "src/CMakeFiles/pcpda.dir/trace/csv.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/trace/csv.cc.o.d"
+  "/root/repo/src/trace/gantt.cc" "src/CMakeFiles/pcpda.dir/trace/gantt.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/trace/gantt.cc.o.d"
+  "/root/repo/src/trace/svg.cc" "src/CMakeFiles/pcpda.dir/trace/svg.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/trace/svg.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/pcpda.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/trace/trace.cc.o.d"
+  "/root/repo/src/txn/job.cc" "src/CMakeFiles/pcpda.dir/txn/job.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/txn/job.cc.o.d"
+  "/root/repo/src/txn/spec.cc" "src/CMakeFiles/pcpda.dir/txn/spec.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/txn/spec.cc.o.d"
+  "/root/repo/src/txn/workspace.cc" "src/CMakeFiles/pcpda.dir/txn/workspace.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/txn/workspace.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/pcpda.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/paper_examples.cc" "src/CMakeFiles/pcpda.dir/workload/paper_examples.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/workload/paper_examples.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/CMakeFiles/pcpda.dir/workload/scenario.cc.o" "gcc" "src/CMakeFiles/pcpda.dir/workload/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

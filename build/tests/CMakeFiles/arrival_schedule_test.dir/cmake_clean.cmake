@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_schedule_test.dir/arrival_schedule_test.cc.o"
+  "CMakeFiles/arrival_schedule_test.dir/arrival_schedule_test.cc.o.d"
+  "arrival_schedule_test"
+  "arrival_schedule_test.pdb"
+  "arrival_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

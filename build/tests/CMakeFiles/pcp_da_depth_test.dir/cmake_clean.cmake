@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcp_da_depth_test.dir/pcp_da_depth_test.cc.o"
+  "CMakeFiles/pcp_da_depth_test.dir/pcp_da_depth_test.cc.o.d"
+  "pcp_da_depth_test"
+  "pcp_da_depth_test.pdb"
+  "pcp_da_depth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcp_da_depth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_pcp_test.dir/rw_pcp_test.cc.o"
+  "CMakeFiles/rw_pcp_test.dir/rw_pcp_test.cc.o.d"
+  "rw_pcp_test"
+  "rw_pcp_test.pdb"
+  "rw_pcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_pcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
