@@ -32,12 +32,21 @@ void RunOne(const Scenario& scenario, ProtocolKind kind, Tick horizon) {
   SimulatorOptions options;
   options.horizon = horizon;
   options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+  options.faults = scenario.faults;
+  options.audit = true;
   Simulator simulator(&scenario.set, protocol.get(), options);
   const SimResult result = simulator.Run();
-  std::printf("--- %s ---\n%s\n%s\nserializable: %s\n\n", ToString(kind),
+  if (!result.status.ok() && result.audit.ok()) {
+    std::printf("--- %s ---\n%s\n\n", ToString(kind),
+                result.status.ToString().c_str());
+    return;
+  }
+  std::printf("--- %s ---\n%s\n%s\nserializable: %s\naudit: %s\n\n",
+              ToString(kind),
               RenderGantt(scenario.set, result.trace).c_str(),
               result.metrics.DebugString(scenario.set).c_str(),
-              IsSerializable(result.history) ? "yes" : "NO");
+              IsSerializable(result.history) ? "yes" : "NO",
+              result.audit.DebugString().c_str());
 }
 
 }  // namespace

@@ -51,6 +51,9 @@ class PcpDa : public Protocol {
   UpdateModel update_model() const override {
     return UpdateModel::kWorkspace;
   }
+  CeilingRule ceiling_rule() const override {
+    return CeilingRule::kWriteOnRead;
+  }
 
   LockDecision Decide(const LockRequest& request) const override;
 

@@ -29,6 +29,7 @@ class Ccp : public RwPcp {
   Ccp() = default;
 
   const char* name() const override { return "CCP"; }
+  bool releases_early() const override { return true; }
 
   /// Early unlocking after each completed step: once no remaining step
   /// acquires a new lock, release every held item no remaining step uses.

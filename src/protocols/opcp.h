@@ -20,6 +20,7 @@ class Opcp : public Protocol {
 
   const char* name() const override { return "PCP"; }
   UpdateModel update_model() const override { return UpdateModel::kInPlace; }
+  CeilingRule ceiling_rule() const override { return CeilingRule::kAbsolute; }
 
   LockDecision Decide(const LockRequest& request) const override;
   Priority CurrentCeiling() const override;

@@ -75,6 +75,20 @@ struct LockDecision {
   bool granted() const { return kind == Kind::kGrant; }
 };
 
+/// Which runtime priority-ceiling rule a protocol implements. The
+/// invariant auditor uses this to recompute the expected system ceiling
+/// from the lock table, independently of the protocol's own accounting.
+enum class CeilingRule : std::uint8_t {
+  /// No ceilings (2PL-PI, 2PL-HP, OCC-*).
+  kNone,
+  /// OPCP: Aceil(x) for any held lock on x.
+  kAbsolute,
+  /// RW-PCP/CCP: Aceil(x) while write-locked, Wceil(x) while read-locked.
+  kReadWrite,
+  /// PCP-DA: Wceil(x) while read-locked; write locks raise nothing.
+  kWriteOnRead,
+};
+
 /// When transaction updates reach the database (Section 4 of the paper).
 enum class UpdateModel : std::uint8_t {
   /// Writes apply immediately when the write step completes (RW-PCP, CCP,
@@ -118,6 +132,13 @@ class Protocol {
   virtual UpdateModel update_model() const = 0;
   /// Whether blocked requesters donate their priority to the blockers.
   virtual bool uses_priority_inheritance() const { return true; }
+  /// The ceiling rule the protocol follows; kNone for non-ceiling
+  /// protocols. Gates the auditor's Theorem 1/2 and Sysceil checks.
+  virtual CeilingRule ceiling_rule() const { return CeilingRule::kNone; }
+  /// Whether the protocol may release locks before commit (CCP). Such
+  /// protocols assume jobs never abort; the fault injector skips abort
+  /// faults for them and the auditor waives the strictness check.
+  virtual bool releases_early() const { return false; }
 
   /// Binds the protocol to a run. Must be called before Decide.
   void Attach(const SimView* view);

@@ -27,6 +27,9 @@ class RwPcp : public Protocol {
 
   const char* name() const override { return "RW-PCP"; }
   UpdateModel update_model() const override { return UpdateModel::kInPlace; }
+  CeilingRule ceiling_rule() const override {
+    return CeilingRule::kReadWrite;
+  }
 
   LockDecision Decide(const LockRequest& request) const override;
 

@@ -55,6 +55,19 @@ std::string RunMetrics::DebugString(const TransactionSet& set) const {
       static_cast<long long>(horizon), static_cast<long long>(idle_ticks),
       static_cast<long long>(deadlocks),
       max_ceiling.DebugString().c_str()));
+  if (faults.TotalInjected() > 0 || faults.skipped_aborts > 0) {
+    lines.push_back(StrFormat(
+        "faults: aborts=%lld restarts=%lld skipped=%lld overruns=%lld "
+        "(+%lld ticks) delayed=%lld (+%lld ticks) bursts=%lld",
+        static_cast<long long>(faults.injected_aborts),
+        static_cast<long long>(faults.injected_restarts),
+        static_cast<long long>(faults.skipped_aborts),
+        static_cast<long long>(faults.overruns),
+        static_cast<long long>(faults.overrun_ticks),
+        static_cast<long long>(faults.delayed_arrivals),
+        static_cast<long long>(faults.delay_ticks),
+        static_cast<long long>(faults.burst_arrivals)));
+  }
   for (SpecId i = 0; i < set.size() &&
                      static_cast<std::size_t>(i) < per_spec.size();
        ++i) {

@@ -49,6 +49,31 @@ struct SpecMetrics {
   Tick ResponsePercentile(double p) const;
 };
 
+/// Injected-fault accounting for one run. All zero when no fault plan is
+/// configured.
+struct FaultMetrics {
+  /// kAbort faults applied (job aborted and restarted).
+  std::int64_t injected_aborts = 0;
+  /// kRestartInCs faults applied (spurious restart mid-critical-section).
+  std::int64_t injected_restarts = 0;
+  /// Abort/restart faults suppressed because the protocol releases locks
+  /// early (undo after early release would be unsound).
+  std::int64_t skipped_aborts = 0;
+  /// kOverrun faults applied, and the total extra ticks they added.
+  std::int64_t overruns = 0;
+  Tick overrun_ticks = 0;
+  /// Arrivals deferred by kDelayArrival faults, and total ticks deferred.
+  std::int64_t delayed_arrivals = 0;
+  Tick delay_ticks = 0;
+  /// Extra arrivals injected by kBurstArrival faults.
+  std::int64_t burst_arrivals = 0;
+
+  std::int64_t TotalInjected() const {
+    return injected_aborts + injected_restarts + overruns +
+           delayed_arrivals + burst_arrivals;
+  }
+};
+
 /// Whole-run counters plus the per-spec breakdown.
 struct RunMetrics {
   std::vector<SpecMetrics> per_spec;
@@ -59,6 +84,7 @@ struct RunMetrics {
   Priority max_ceiling;
   bool halted_on_deadlock = false;
   bool halted_on_miss = false;
+  FaultMetrics faults;
 
   std::int64_t TotalReleased() const;
   std::int64_t TotalCommitted() const;

@@ -80,6 +80,9 @@ void Simulator::ReleaseArrivals() {
   } else {
     due = ArrivalCalendar(set_).At(tick_);
   }
+  if (fault_plan_ != nullptr) {
+    due = fault_plan_->TransformArrivals(tick_, std::move(due));
+  }
   for (const Arrival& arrival : due) {
     const Tick rel_deadline = set_->RelativeDeadline(arrival.spec);
     const Tick deadline =
@@ -129,6 +132,63 @@ void Simulator::CheckDeadlines() {
         metrics_.halted_on_miss = true;
         halted_ = true;
         return;
+    }
+  }
+}
+
+void Simulator::ApplyFaults() {
+  if (fault_plan_ == nullptr) return;
+  std::vector<const Job*> active;
+  std::map<JobId, bool> holds_lock;
+  for (const auto& owned : jobs_) {
+    if (!owned->active()) continue;
+    active.push_back(owned.get());
+    holds_lock[owned->id()] =
+        !lock_table_.read_items(owned->id()).empty() ||
+        !lock_table_.write_items(owned->id()).empty();
+  }
+  for (const JobFault& fault : fault_plan_->JobFaultsAt(tick_, active,
+                                                        holds_lock)) {
+    Job* victim = const_cast<Job*>(job(fault.job));
+    PCPDA_CHECK(victim != nullptr && victim->active());
+    // Abort-style faults are unsound for early-release protocols (CCP
+    // hands locks back before commit and assumes no aborts); suppress
+    // them rather than corrupt the database.
+    const bool is_abort = fault.kind == FaultKind::kAbort ||
+                          fault.kind == FaultKind::kRestartInCs;
+    const bool skipped = is_abort && protocol_->releases_early();
+    if (options_.record_trace) {
+      TraceEvent event;
+      event.tick = tick_;
+      event.kind = TraceKind::kFault;
+      event.job = victim->id();
+      event.spec = victim->spec_id();
+      event.instance = victim->instance();
+      event.note = skipped ? fault.note + " (skipped: early-release)"
+                           : fault.note;
+      trace_.AddEvent(event);
+    }
+    if (skipped) {
+      ++metrics_.faults.skipped_aborts;
+      continue;
+    }
+    switch (fault.kind) {
+      case FaultKind::kAbort:
+        ++metrics_.faults.injected_aborts;
+        AbortAndRestart(*victim, fault.note.c_str());
+        break;
+      case FaultKind::kRestartInCs:
+        ++metrics_.faults.injected_restarts;
+        AbortAndRestart(*victim, fault.note.c_str());
+        break;
+      case FaultKind::kOverrun:
+        ++metrics_.faults.overruns;
+        metrics_.faults.overrun_ticks += fault.extra;
+        victim->InflateCurrentStep(fault.extra);
+        break;
+      case FaultKind::kDelayArrival:
+      case FaultKind::kBurstArrival:
+        PCPDA_UNREACHABLE("arrival faults are not job faults");
     }
   }
 }
@@ -421,6 +481,7 @@ void Simulator::AbortAndRestart(Job& victim, const char* why) {
     database_.Restore(item, before);
   }
   lock_table_.ReleaseAll(victim.id());
+  wait_graph_.ClearWaits(victim.id());
   history_.DiscardPending(victim.id());
   ++metrics_for(victim.spec_id()).restarts;
   if (options_.record_trace) {
@@ -442,6 +503,7 @@ void Simulator::DropJob(Job& job) {
     database_.Restore(item, before);
   }
   lock_table_.ReleaseAll(job.id());
+  wait_graph_.ClearWaits(job.id());
   history_.DiscardPending(job.id());
   ++metrics_for(job.spec_id()).dropped;
   if (options_.record_trace) {
@@ -554,6 +616,37 @@ void Simulator::RecordTick(const Job* runner, StepKind runner_kind) {
   trace_.AddTick(std::move(record));
 }
 
+void Simulator::AuditNow() {
+  if (auditor_ == nullptr) return;
+  std::vector<const Job*> all;
+  all.reserve(jobs_.size());
+  for (const auto& owned : jobs_) all.push_back(owned.get());
+  std::map<JobId, std::vector<JobId>> blocked;
+  for (const auto& [id, pb] : blocked_now_) blocked[id] = pb.blockers;
+  AuditScope scope;
+  scope.tick = tick_;
+  scope.set = set_;
+  scope.ceilings = &ceilings_;
+  scope.protocol = protocol_;
+  scope.locks = &lock_table_;
+  scope.database = &database_;
+  scope.waits = &wait_graph_;
+  scope.jobs = &all;
+  scope.blocked = &blocked;
+  const std::size_t before = auditor_->report().violations.size();
+  auditor_->AuditTick(scope);
+  if (options_.record_trace) {
+    const auto& violations = auditor_->report().violations;
+    for (std::size_t i = before; i < violations.size(); ++i) {
+      TraceEvent event;
+      event.tick = tick_;
+      event.kind = TraceKind::kAuditViolation;
+      event.note = violations[i].check + ": " + violations[i].detail;
+      trace_.AddEvent(event);
+    }
+  }
+}
+
 SimResult Simulator::Run() {
   PCPDA_CHECK_MSG(!ran_, "Simulator::Run may be called once");
   ran_ = true;
@@ -562,6 +655,15 @@ SimResult Simulator::Run() {
     result.status = Status::InvalidArgument("horizon must be positive");
     return result;
   }
+  if (options_.faults.enabled()) {
+    Status valid = ValidateFaultConfig(options_.faults, *set_);
+    if (!valid.ok()) {
+      result.status = valid;
+      return result;
+    }
+    fault_plan_ = std::make_unique<FaultPlan>(options_.faults, set_);
+  }
+  if (options_.audit) auditor_ = std::make_unique<InvariantAuditor>();
   protocol_->Attach(this);
   metrics_.per_spec.assign(static_cast<std::size_t>(set_->size()),
                            SpecMetrics{});
@@ -571,6 +673,7 @@ SimResult Simulator::Run() {
     ReleaseArrivals();
     CheckDeadlines();
     if (halted_) break;
+    ApplyFaults();
     Job* runner = ResolveDispatch();
     while (HandleOneDeadlock()) {
       if (halted_) break;
@@ -587,6 +690,7 @@ SimResult Simulator::Run() {
       ++metrics_.idle_ticks;
     }
     RecordTick(runner, runner_kind);
+    AuditNow();
   }
 
   // Fold leftover per-job blocking maxima into the per-spec metrics.
@@ -597,10 +701,28 @@ SimResult Simulator::Run() {
     m.max_effective_blocking = std::max(m.max_effective_blocking, ticks);
   }
 
+  if (fault_plan_ != nullptr) {
+    metrics_.faults.delayed_arrivals = fault_plan_->delayed_count();
+    metrics_.faults.delay_ticks = fault_plan_->delay_ticks();
+    metrics_.faults.burst_arrivals = fault_plan_->burst_count();
+  }
+
   result.metrics = std::move(metrics_);
   result.trace = std::move(trace_);
   result.history = std::move(history_);
   result.deadlock_detected = result.metrics.deadlocks > 0;
+  if (auditor_ != nullptr) {
+    result.audit = auditor_->TakeReport();
+    if (!result.audit.ok()) {
+      const std::int64_t total =
+          static_cast<std::int64_t>(result.audit.violations.size()) +
+          result.audit.suppressed;
+      result.status = Status::Internal(StrFormat(
+          "invariant audit failed: %lld violation(s); first: %s",
+          static_cast<long long>(total),
+          result.audit.violations.front().DebugString().c_str()));
+    }
+  }
   return result;
 }
 

@@ -11,8 +11,10 @@
 #include "db/ceilings.h"
 #include "db/database.h"
 #include "db/lock_table.h"
+#include "fault/fault_plan.h"
 #include "history/history.h"
 #include "protocols/protocol.h"
+#include "sched/auditor.h"
 #include "sched/metrics.h"
 #include "sched/wait_graph.h"
 #include "sim/arrival_schedule.h"
@@ -57,14 +59,25 @@ struct SimulatorOptions {
   /// null, releases follow the specs' periodic calendar — the paper's
   /// model. Must outlive the simulator.
   const ArrivalSchedule* arrival_schedule = nullptr;
+  /// Fault plan: injected aborts, overruns and arrival jitter. Empty
+  /// (default) injects nothing. Validated at Run(); a bad config yields a
+  /// non-OK SimResult.status.
+  FaultConfig faults;
+  /// Run the per-tick invariant auditor; violations land in
+  /// SimResult.audit and make SimResult.status non-OK.
+  bool audit = false;
 };
 
 /// Outcome of one run.
 struct SimResult {
-  Status status;  // non-OK only for configuration errors
+  /// Non-OK for configuration errors (InvalidArgument) and for invariant
+  /// audit failures (Internal).
+  Status status;
   RunMetrics metrics;
   Trace trace;
   History history;
+  /// Populated when options.audit is set.
+  AuditReport audit;
   bool deadlock_detected = false;
 };
 
@@ -105,6 +118,11 @@ class Simulator : public SimView {
 
   void ReleaseArrivals();
   void CheckDeadlines();
+  /// Applies this tick's job faults (aborts, spurious restarts, WCET
+  /// overruns) before dispatch resolution.
+  void ApplyFaults();
+  /// Runs the invariant auditor over the end-of-tick state.
+  void AuditNow();
   /// Resolves this tick's dispatch: rebuilds blocking edges to a fixpoint
   /// and picks the runner. Returns the chosen job (nullptr if idle) and
   /// fills blocked_now_.
@@ -156,6 +174,8 @@ class Simulator : public SimView {
   std::map<JobId, Tick> effective_blocking_by_job_;
   /// The decision produced for the runner during dispatch resolution.
   std::map<JobId, LockDecision> granted_decision_;
+  std::unique_ptr<FaultPlan> fault_plan_;
+  std::unique_ptr<InvariantAuditor> auditor_;
   bool ran_ = false;
 };
 

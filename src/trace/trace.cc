@@ -25,6 +25,10 @@ const char* ToString(TraceKind kind) {
       return "deadlock";
     case TraceKind::kDrop:
       return "drop";
+    case TraceKind::kFault:
+      return "fault";
+    case TraceKind::kAuditViolation:
+      return "audit-violation";
   }
   return "unknown";
 }

@@ -23,6 +23,8 @@ enum class TraceKind : std::uint8_t {
   kDeadlineMiss,
   kDeadlock,
   kDrop,          // job dropped by the deadline-miss policy
+  kFault,         // injected fault applied (note names the kind)
+  kAuditViolation,  // invariant auditor finding (note has the check)
 };
 
 const char* ToString(TraceKind kind);

@@ -48,6 +48,12 @@ bool Job::ExecuteTick() {
   return true;
 }
 
+void Job::InflateCurrentStep(Tick extra) {
+  PCPDA_CHECK(!BodyDone());
+  PCPDA_CHECK(extra > 0);
+  remaining_in_step_ += extra;
+}
+
 Tick Job::RemainingWork() const {
   if (BodyDone()) return 0;
   Tick total = remaining_in_step_;

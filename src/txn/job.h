@@ -67,6 +67,10 @@ class Job {
   /// completes. Returns true if the tick finished a step.
   bool ExecuteTick();
 
+  /// Extends the current step by `extra` ticks (injected WCET overrun).
+  /// Requires an unfinished body and extra > 0.
+  void InflateCurrentStep(Tick extra);
+
   /// Remaining execution demand in ticks.
   Tick RemainingWork() const;
 

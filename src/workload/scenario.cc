@@ -35,6 +35,22 @@ bool ParseTick(const std::string& token, Tick* out) {
   return true;
 }
 
+bool ParseDouble(const std::string& token, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0' || token.empty()) return false;
+  *out = value;
+  return true;
+}
+
+/// A fault line whose target txn name awaits resolution: spec ids are
+/// only final after TransactionSet::Create assigns priorities.
+struct PendingFault {
+  FaultSpec fault;
+  std::string target;
+  int line = 0;
+};
+
 }  // namespace
 
 StatusOr<Scenario> ParseScenario(const std::string& text) {
@@ -52,6 +68,10 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
 
   bool in_txn = false;
   TransactionSpec current;
+  bool in_faults = false;
+  bool saw_faults = false;
+  std::uint64_t fault_seed = 1;
+  std::vector<PendingFault> pending_faults;
 
   std::istringstream stream(text);
   std::string line;
@@ -101,6 +121,74 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
       return ParseError(line_number,
                         "unknown step '" + keyword +
                             "' (expected read/write/compute/end)");
+    }
+
+    if (in_faults) {
+      if (keyword == "end") {
+        if (tokens.size() != 1) {
+          return ParseError(line_number, "end takes no arguments");
+        }
+        in_faults = false;
+        continue;
+      }
+      FaultKind kind;
+      if (keyword == "abort") {
+        kind = FaultKind::kAbort;
+      } else if (keyword == "restart") {
+        kind = FaultKind::kRestartInCs;
+      } else if (keyword == "overrun") {
+        kind = FaultKind::kOverrun;
+      } else if (keyword == "delay") {
+        kind = FaultKind::kDelayArrival;
+      } else if (keyword == "burst") {
+        kind = FaultKind::kBurstArrival;
+      } else {
+        return ParseError(line_number,
+                          "unknown fault '" + keyword +
+                              "' (expected abort/restart/overrun/delay/"
+                              "burst/end)");
+      }
+      if (tokens.size() < 2) {
+        return ParseError(line_number,
+                          keyword + " needs a target txn name or *");
+      }
+      PendingFault pending;
+      pending.fault.kind = kind;
+      pending.target = tokens[1];
+      pending.line = line_number;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const std::string& attr = tokens[i];
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return ParseError(line_number,
+                            "fault attribute must be key=value: " + attr);
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        if (key == "at") {
+          if (!ParseTick(value, &pending.fault.at)) {
+            return ParseError(line_number, "bad value in " + attr);
+          }
+        } else if (key == "prob") {
+          if (!ParseDouble(value, &pending.fault.probability)) {
+            return ParseError(line_number, "bad value in " + attr);
+          }
+        } else if (key == "by" || key == "upto") {
+          if (!ParseTick(value, &pending.fault.extra)) {
+            return ParseError(line_number, "bad value in " + attr);
+          }
+        } else if (key == "count") {
+          Tick count = 0;
+          if (!ParseTick(value, &count)) {
+            return ParseError(line_number, "bad value in " + attr);
+          }
+          pending.fault.count = static_cast<int>(count);
+        } else {
+          return ParseError(line_number, "unknown fault attribute " + key);
+        }
+      }
+      pending_faults.push_back(std::move(pending));
+      continue;
     }
 
     if (keyword == "scenario") {
@@ -170,10 +258,34 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
       in_txn = true;
       continue;
     }
+    if (keyword == "faults") {
+      if (saw_faults) {
+        return ParseError(line_number, "duplicate faults block");
+      }
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& attr = tokens[i];
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos || attr.substr(0, eq) != "seed") {
+          return ParseError(line_number,
+                            "faults takes only seed=<n>: " + attr);
+        }
+        Tick seed = 0;
+        if (!ParseTick(attr.substr(eq + 1), &seed) || seed < 0) {
+          return ParseError(line_number, "bad value in " + attr);
+        }
+        fault_seed = static_cast<std::uint64_t>(seed);
+      }
+      in_faults = true;
+      saw_faults = true;
+      continue;
+    }
     return ParseError(line_number, "unknown directive '" + keyword + "'");
   }
   if (in_txn) {
     return Status::InvalidArgument("unterminated txn (missing 'end')");
+  }
+  if (in_faults) {
+    return Status::InvalidArgument("unterminated faults (missing 'end')");
   }
   if (specs.empty()) {
     return Status::InvalidArgument("scenario declares no transactions");
@@ -181,8 +293,36 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
 
   auto set = TransactionSet::Create(std::move(specs), assignment);
   PCPDA_RETURN_IF_ERROR(set.status());
-  Scenario scenario{name, std::move(set).value(), horizon,
-                    std::move(items)};
+  TransactionSet txns = std::move(set).value();
+
+  // Resolve fault targets by name now that priority assignment has fixed
+  // the spec ids.
+  FaultConfig faults;
+  faults.seed = fault_seed;
+  for (const PendingFault& pending : pending_faults) {
+    FaultSpec fault = pending.fault;
+    if (pending.target == "*") {
+      fault.spec = kInvalidSpec;
+    } else {
+      fault.spec = kInvalidSpec;
+      for (SpecId i = 0; i < txns.size(); ++i) {
+        if (txns.spec(i).name == pending.target) {
+          fault.spec = i;
+          break;
+        }
+      }
+      if (fault.spec == kInvalidSpec) {
+        return ParseError(pending.line,
+                          "fault targets unknown txn '" + pending.target +
+                              "'");
+      }
+    }
+    faults.faults.push_back(fault);
+  }
+  PCPDA_RETURN_IF_ERROR(ValidateFaultConfig(faults, txns));
+
+  Scenario scenario{name, std::move(txns), horizon, std::move(items),
+                    std::move(faults)};
   return scenario;
 }
 
@@ -248,6 +388,40 @@ std::string FormatScenario(const std::string& name,
     lines.push_back("end");
   }
   return Join(lines, "\n") + "\n";
+}
+
+std::string FormatScenario(const Scenario& scenario) {
+  std::string out =
+      FormatScenario(scenario.name, scenario.set, scenario.horizon);
+  if (!scenario.faults.enabled()) return out;
+  std::vector<std::string> lines;
+  lines.push_back(StrFormat(
+      "faults seed=%llu",
+      static_cast<unsigned long long>(scenario.faults.seed)));
+  for (const FaultSpec& fault : scenario.faults.faults) {
+    std::string line = StrFormat("  %s ", ToString(fault.kind));
+    line += fault.spec == kInvalidSpec
+                ? "*"
+                : scenario.set.spec(fault.spec).name;
+    if (fault.at != kNoTick) {
+      line += StrFormat(" at=%lld", static_cast<long long>(fault.at));
+    }
+    if (fault.probability > 0.0) {
+      line += StrFormat(" prob=%g", fault.probability);
+    }
+    if (fault.kind == FaultKind::kOverrun) {
+      line += StrFormat(" by=%lld", static_cast<long long>(fault.extra));
+    }
+    if (fault.kind == FaultKind::kDelayArrival) {
+      line += StrFormat(" upto=%lld", static_cast<long long>(fault.extra));
+    }
+    if (fault.kind == FaultKind::kBurstArrival) {
+      line += StrFormat(" count=%d", fault.count);
+    }
+    lines.push_back(std::move(line));
+  }
+  lines.push_back("end");
+  return out + Join(lines, "\n") + "\n";
 }
 
 }  // namespace pcpda

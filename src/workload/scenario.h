@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "fault/fault_plan.h"
 #include "txn/spec.h"
 
 namespace pcpda {
@@ -20,6 +21,8 @@ struct Scenario {
   Tick horizon = 0;
   /// Item name -> id, in declaration order.
   std::map<std::string, ItemId> items;
+  /// Fault plan from the `faults ... end` block; empty when absent.
+  FaultConfig faults;
 };
 
 /// Parses the scenario text format:
@@ -34,9 +37,17 @@ struct Scenario {
 ///     write <item> [<duration>]
 ///     compute <duration>
 ///   end
+///   faults [seed=<n>]                        (optional, at most one)
+///     abort <txn|*> at=<tick>|prob=<p>
+///     restart <txn|*> at=<tick>|prob=<p>
+///     overrun <txn|*> by=<ticks> at=<tick>|prob=<p>
+///     delay <txn|*> upto=<ticks> at=<tick>|prob=<p>
+///     burst <txn|*> count=<n> at=<tick>|prob=<p>
+///   end
 ///
 /// Items are auto-declared on first use, ids assigned in order of
-/// appearance. Errors carry the offending line number.
+/// appearance. Fault targets are txn names (resolved after priority
+/// assignment) or `*` for any. Errors carry the offending line number.
 StatusOr<Scenario> ParseScenario(const std::string& text);
 
 /// Reads and parses a scenario file.
@@ -46,6 +57,9 @@ StatusOr<Scenario> LoadScenarioFile(const std::string& path);
 /// through ParseScenario).
 std::string FormatScenario(const std::string& name,
                            const TransactionSet& set, Tick horizon);
+
+/// Same, for a full scenario: appends the `faults` block when present.
+std::string FormatScenario(const Scenario& scenario);
 
 }  // namespace pcpda
 

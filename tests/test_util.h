@@ -11,7 +11,9 @@
 
 namespace pcpda {
 
-/// Runs `set` under a fresh protocol of `kind` for `horizon` ticks.
+/// Runs `set` under a fresh protocol of `kind` for `horizon` ticks. The
+/// invariant auditor is on: any run that corrupts lock/ceiling/inheritance
+/// state fails through SimResult.status.
 inline SimResult RunWith(const TransactionSet& set, ProtocolKind kind,
                          Tick horizon,
                          DeadlockPolicy deadlock_policy =
@@ -20,6 +22,7 @@ inline SimResult RunWith(const TransactionSet& set, ProtocolKind kind,
   SimulatorOptions options;
   options.horizon = horizon;
   options.deadlock_policy = deadlock_policy;
+  options.audit = true;
   Simulator sim(&set, protocol.get(), options);
   return sim.Run();
 }
@@ -32,6 +35,7 @@ inline SimResult RunWith(const TransactionSet& set, Protocol* protocol,
   SimulatorOptions options;
   options.horizon = horizon;
   options.deadlock_policy = deadlock_policy;
+  options.audit = true;
   Simulator sim(&set, protocol, options);
   return sim.Run();
 }
