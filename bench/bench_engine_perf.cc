@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "analysis/blocking.h"
 #include "bench_util.h"
 #include "common/rng.h"
@@ -14,6 +17,13 @@
 
 namespace pcpda {
 namespace {
+
+/// PCPDA_BENCH_SMOKE=1 shrinks every horizon so the whole binary finishes
+/// in seconds; the bench-smoke CTest target uses it to run these paths
+/// (including under asan) as part of tier-1.
+bool SmokeMode() { return std::getenv("PCPDA_BENCH_SMOKE") != nullptr; }
+
+Tick Horizon(Tick full) { return SmokeMode() ? std::min<Tick>(full, 300) : full; }
 
 TransactionSet SizedWorkload(int txns, int items, double utilization) {
   Rng rng(99);
@@ -30,11 +40,11 @@ void BM_SimulatorThroughput(benchmark::State& state) {
       static_cast<int>(state.range(1)), 3 * static_cast<int>(state.range(1)),
       0.7);
   const auto kind = static_cast<ProtocolKind>(state.range(0));
-  constexpr Tick kHorizon = 5000;
+  const Tick horizon = Horizon(5000);
   for (auto _ : state) {
     auto protocol = MakeProtocol(kind);
     SimulatorOptions options;
-    options.horizon = kHorizon;
+    options.horizon = horizon;
     options.record_trace = false;
     options.record_history = false;
     options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
@@ -42,7 +52,7 @@ void BM_SimulatorThroughput(benchmark::State& state) {
     SimResult result = sim.Run();
     benchmark::DoNotOptimize(result.metrics.TotalCommitted());
   }
-  state.SetItemsProcessed(state.iterations() * kHorizon);
+  state.SetItemsProcessed(state.iterations() * horizon);
 }
 BENCHMARK(BM_SimulatorThroughput)
     ->Args({static_cast<int>(ProtocolKind::kPcpDa), 8})
@@ -50,6 +60,57 @@ BENCHMARK(BM_SimulatorThroughput)
     ->Args({static_cast<int>(ProtocolKind::kRwPcp), 8})
     ->Args({static_cast<int>(ProtocolKind::kRwPcp), 24})
     ->Args({static_cast<int>(ProtocolKind::kTwoPlHp), 8});
+
+// The schedulability-sweep shape: one long-horizon run per (protocol,
+// utilization) grid point. Horizons this long are where the per-tick
+// full-scan engine drowned — every tick rescanned every job released since
+// tick 0 — and where the event-driven core's active-set scan and idle-gap
+// skip pay off. Tracked before/after in EXPERIMENTS.md.
+void BM_LongHorizonSweep(benchmark::State& state) {
+  const TransactionSet set =
+      SizedWorkload(8, 24, static_cast<double>(state.range(1)) / 100.0);
+  const auto kind = static_cast<ProtocolKind>(state.range(0));
+  const Tick horizon = Horizon(150000);
+  for (auto _ : state) {
+    auto protocol = MakeProtocol(kind);
+    SimulatorOptions options;
+    options.horizon = horizon;
+    options.record_trace = false;
+    options.record_history = false;
+    options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+    Simulator sim(&set, protocol.get(), options);
+    SimResult result = sim.Run();
+    benchmark::DoNotOptimize(result.metrics.TotalCommitted());
+  }
+  state.SetItemsProcessed(state.iterations() * horizon);
+}
+BENCHMARK(BM_LongHorizonSweep)
+    ->Args({static_cast<int>(ProtocolKind::kPcpDa), 45})
+    ->Args({static_cast<int>(ProtocolKind::kPcpDa), 70})
+    ->Args({static_cast<int>(ProtocolKind::kRwPcp), 45})
+    ->Args({static_cast<int>(ProtocolKind::kTwoPlHp), 45})
+    ->Unit(benchmark::kMillisecond);
+
+// Long horizon with tracing on: exercises the bounded trace ring
+// (SimulatorOptions::max_trace_events) that keeps week-long horizons from
+// holding every event ever traced in memory.
+void BM_LongHorizonBoundedTrace(benchmark::State& state) {
+  const TransactionSet set = SizedWorkload(8, 24, 0.45);
+  const Tick horizon = Horizon(50000);
+  for (auto _ : state) {
+    auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+    SimulatorOptions options;
+    options.horizon = horizon;
+    options.record_history = false;
+    options.max_trace_events = static_cast<std::size_t>(state.range(0));
+    Simulator sim(&set, protocol.get(), options);
+    SimResult result = sim.Run();
+    benchmark::DoNotOptimize(result.trace.events().size());
+  }
+  state.SetItemsProcessed(state.iterations() * horizon);
+}
+BENCHMARK(BM_LongHorizonBoundedTrace)->Arg(0)->Arg(4096)->Unit(
+    benchmark::kMillisecond);
 
 void BM_TraceRecordingOverhead(benchmark::State& state) {
   const TransactionSet set = SizedWorkload(8, 24, 0.7);

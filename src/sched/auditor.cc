@@ -11,16 +11,15 @@
 namespace pcpda {
 namespace {
 
-/// Job lookup by id over the scope's job list (nullptr if unknown). The
-/// simulator hands jobs in id order, so try the direct index first.
+/// Job lookup by id: first the scope's (small) scan list, then the
+/// simulator's archive of every released job via scope.lookup — so a
+/// retired job named by a stale lock or wait edge is still reported by
+/// its real state, not as unknown.
 const Job* FindJob(const AuditScope& scope, JobId id) {
-  if (id >= 0 && static_cast<std::size_t>(id) < scope.jobs->size() &&
-      (*scope.jobs)[static_cast<std::size_t>(id)]->id() == id) {
-    return (*scope.jobs)[static_cast<std::size_t>(id)];
-  }
   for (const Job* job : *scope.jobs) {
     if (job->id() == id) return job;
   }
+  if (scope.lookup != nullptr) return scope.lookup->job(id);
   return nullptr;
 }
 

@@ -48,8 +48,15 @@ struct AuditScope {
   const LockTable* locks = nullptr;
   const Database* database = nullptr;
   const WaitGraph* waits = nullptr;
-  /// Every job released so far (any state), indexable by the audit.
+  /// The jobs the tick's audit scans: every active job, plus the jobs
+  /// that retired (committed or dropped) during this tick so their
+  /// end-state invariants are still checked at retirement time. Long-
+  /// retired jobs are reachable through `lookup` instead of being
+  /// rescanned every tick.
   const std::vector<const Job*>* jobs = nullptr;
+  /// Resolves any historical job id (e.g. a stale lock holder) that is no
+  /// longer in `jobs`. Optional; without it such ids read as unknown.
+  const SimView* lookup = nullptr;
   /// Jobs blocked at dispatch time -> their direct blockers.
   const std::map<JobId, std::vector<JobId>>* blocked = nullptr;
 };

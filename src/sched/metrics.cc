@@ -1,6 +1,7 @@
 #include "sched/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -10,11 +11,23 @@ namespace pcpda {
 Tick SpecMetrics::ResponsePercentile(double p) const {
   if (responses.empty()) return 0;
   PCPDA_CHECK(p >= 0.0 && p <= 1.0);
-  std::vector<Tick> sorted = responses;
-  std::sort(sorted.begin(), sorted.end());
-  const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
+  // Nearest-rank: the smallest response r such that at least p*n of the
+  // samples are <= r, i.e. index ceil(p*n)-1. p=0 is the minimum and p=1
+  // the maximum, exactly. nth_element gives the rank statistic without
+  // sorting the whole sample (O(n) expected vs O(n log n)).
+  const std::size_t n = responses.size();
+  std::size_t rank = 0;
+  if (p > 0.0) {
+    rank = static_cast<std::size_t>(
+               std::ceil(p * static_cast<double>(n))) -
+           1;
+    rank = std::min(rank, n - 1);
+  }
+  std::vector<Tick> sample = responses;
+  std::nth_element(sample.begin(),
+                   sample.begin() + static_cast<std::ptrdiff_t>(rank),
+                   sample.end());
+  return sample[rank];
 }
 
 std::int64_t RunMetrics::TotalReleased() const {
@@ -41,11 +54,20 @@ std::int64_t RunMetrics::TotalRestarts() const {
   return total;
 }
 
+std::int64_t RunMetrics::TotalPending() const {
+  std::int64_t total = 0;
+  for (const SpecMetrics& m : per_spec) total += m.pending_at_horizon;
+  return total;
+}
+
 double RunMetrics::MissRatio() const {
-  const std::int64_t released = TotalReleased();
-  if (released == 0) return 0.0;
+  // Censoring correction: a job released just before the horizon whose
+  // deadline lies beyond it neither met nor missed — dividing by all
+  // releases would count it as a met deadline.
+  const std::int64_t decided = TotalReleased() - TotalPending();
+  if (decided <= 0) return 0.0;
   return static_cast<double>(TotalMisses()) /
-         static_cast<double>(released);
+         static_cast<double>(decided);
 }
 
 std::string RunMetrics::DebugString(const TransactionSet& set) const {

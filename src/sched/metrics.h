@@ -34,6 +34,12 @@ struct SpecMetrics {
   std::int64_t ceiling_blocks = 0;
   std::int64_t conflict_blocks = 0;
 
+  /// Instances still in flight when the horizon ended without a recorded
+  /// deadline miss. Their outcome is censored — they never got the chance
+  /// to meet or miss their deadline — so MissRatio excludes them from the
+  /// denominator.
+  std::int64_t pending_at_horizon = 0;
+
   Tick max_response = 0;
   double total_response = 0.0;
   /// Response time of every committed instance, in commit order.
@@ -90,7 +96,11 @@ struct RunMetrics {
   std::int64_t TotalCommitted() const;
   std::int64_t TotalMisses() const;
   std::int64_t TotalRestarts() const;
+  std::int64_t TotalPending() const;
   bool AllDeadlinesMet() const { return TotalMisses() == 0; }
+  /// Deadline misses over the instances whose outcome is known: released
+  /// minus the censored still-pending-at-horizon jobs. Counting censored
+  /// jobs as met deadlines would bias the ratio down on short horizons.
   double MissRatio() const;
 
   std::string DebugString(const TransactionSet& set) const;

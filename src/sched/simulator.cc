@@ -20,6 +20,9 @@ Simulator::Simulator(const TransactionSet* set, Protocol* protocol,
       lock_table_(set->item_count()) {
   PCPDA_CHECK(set != nullptr);
   PCPDA_CHECK(protocol != nullptr);
+  if (options_.arrival_schedule == nullptr) {
+    calendar_cursor_.emplace(ArrivalCalendar(set_).MakeCursor());
+  }
 }
 
 Simulator::~Simulator() = default;
@@ -31,10 +34,9 @@ const Job* Simulator::job(JobId id) const {
 
 std::vector<const Job*> Simulator::LiveJobs(JobId except) const {
   std::vector<const Job*> live;
-  for (const auto& owned : jobs_) {
-    if (owned->active() && owned->id() != except) {
-      live.push_back(owned.get());
-    }
+  live.reserve(active_jobs_.size());
+  for (const Job* job : active_jobs_) {
+    if (job->id() != except) live.push_back(job);
   }
   return live;
 }
@@ -45,13 +47,7 @@ SpecMetrics& Simulator::metrics_for(SpecId spec) {
   return metrics_.per_spec[static_cast<std::size_t>(spec)];
 }
 
-std::vector<Job*> Simulator::ActiveJobs() {
-  std::vector<Job*> active;
-  for (const auto& job : jobs_) {
-    if (job->active()) active.push_back(job.get());
-  }
-  return active;
-}
+std::vector<Job*> Simulator::ActiveJobs() { return active_jobs_; }
 
 bool Simulator::NeedsLock(const Job& job) const {
   if (job.BodyDone() || job.step_admitted()) return false;
@@ -73,13 +69,34 @@ LockMode Simulator::NeededMode(const Job& job) const {
                                                     : LockMode::kWrite;
 }
 
-void Simulator::ReleaseArrivals() {
-  std::vector<Arrival> due;
+std::vector<Arrival> Simulator::TakeDueArrivals() {
   if (options_.arrival_schedule != nullptr) {
-    due = options_.arrival_schedule->At(tick_);
-  } else {
-    due = ArrivalCalendar(set_).At(tick_);
+    const std::vector<Arrival>& all =
+        options_.arrival_schedule->arrivals();
+    std::vector<Arrival> due;
+    while (schedule_pos_ < all.size() &&
+           all[schedule_pos_].tick == tick_) {
+      due.push_back(all[schedule_pos_++]);
+    }
+    PCPDA_CHECK_MSG(
+        schedule_pos_ >= all.size() || all[schedule_pos_].tick > tick_,
+        "arrival schedule fell behind the simulation clock");
+    return due;
   }
+  return calendar_cursor_->PopAt(tick_);
+}
+
+Tick Simulator::NextArrivalTick() const {
+  if (options_.arrival_schedule != nullptr) {
+    const std::vector<Arrival>& all =
+        options_.arrival_schedule->arrivals();
+    return schedule_pos_ < all.size() ? all[schedule_pos_].tick : kNoTick;
+  }
+  return calendar_cursor_->NextTick();
+}
+
+void Simulator::ReleaseArrivals() {
+  std::vector<Arrival> due = TakeDueArrivals();
   if (fault_plan_ != nullptr) {
     due = fault_plan_->TransformArrivals(tick_, std::move(due));
   }
@@ -90,6 +107,7 @@ void Simulator::ReleaseArrivals() {
     const JobId id = static_cast<JobId>(jobs_.size());
     jobs_.push_back(std::make_unique<Job>(id, set_, arrival.spec,
                                           arrival.instance, tick_, deadline));
+    active_jobs_.push_back(jobs_.back().get());
     ++metrics_for(arrival.spec).released;
     if (options_.record_trace) {
       TraceEvent event;
@@ -104,9 +122,11 @@ void Simulator::ReleaseArrivals() {
 }
 
 void Simulator::CheckDeadlines() {
-  for (const auto& owned : jobs_) {
-    Job& job = *owned;
-    if (!job.active() || job.deadline_miss_recorded()) continue;
+  // kDrop retires jobs mid-loop, so walk a snapshot of the scan set.
+  const std::vector<Job*> snapshot = active_jobs_;
+  for (Job* active : snapshot) {
+    Job& job = *active;
+    if (job.deadline_miss_recorded()) continue;
     if (job.absolute_deadline() == kNoTick ||
         job.absolute_deadline() > tick_) {
       continue;
@@ -138,14 +158,12 @@ void Simulator::CheckDeadlines() {
 
 void Simulator::ApplyFaults() {
   if (fault_plan_ == nullptr) return;
-  std::vector<const Job*> active;
+  std::vector<const Job*> active(active_jobs_.begin(), active_jobs_.end());
   std::map<JobId, bool> holds_lock;
-  for (const auto& owned : jobs_) {
-    if (!owned->active()) continue;
-    active.push_back(owned.get());
-    holds_lock[owned->id()] =
-        !lock_table_.read_items(owned->id()).empty() ||
-        !lock_table_.write_items(owned->id()).empty();
+  for (const Job* job : active_jobs_) {
+    holds_lock[job->id()] =
+        !lock_table_.read_items(job->id()).empty() ||
+        !lock_table_.write_items(job->id()).empty();
   }
   for (const JobFault& fault : fault_plan_->JobFaultsAt(tick_, active,
                                                         holds_lock)) {
@@ -471,6 +489,7 @@ void Simulator::Commit(Job& job) {
     effective_blocking_by_job_.erase(eb);
   }
   job.MarkCommitted(commit_time);
+  RetireJob(job);
   protocol_->OnCommitApplied(job);
 }
 
@@ -523,7 +542,42 @@ void Simulator::DropJob(Job& job) {
     effective_blocking_by_job_.erase(eb);
   }
   job.MarkDropped();
+  RetireJob(job);
   protocol_->OnAbortApplied(job);
+}
+
+void Simulator::RetireJob(Job& job) {
+  PCPDA_CHECK(!job.active());
+  const auto it =
+      std::find(active_jobs_.begin(), active_jobs_.end(), &job);
+  PCPDA_CHECK_MSG(it != active_jobs_.end(),
+                  "retiring a job that was not in the active set");
+  active_jobs_.erase(it);
+  retired_this_tick_.push_back(&job);
+}
+
+void Simulator::FastForwardIdleGap() {
+  // With no job in flight nothing can happen before the next arrival:
+  // deadlines, faults, locks, wait edges and ceilings all belong to
+  // active jobs. Emit exactly what the per-tick loop emitted for an idle
+  // tick — one idle TickRecord at the (empty-lock-table) ceiling, an
+  // idle_ticks credit, and a max_ceiling sample — for every skipped tick.
+  Tick next = NextArrivalTick();
+  if (next == kNoTick || next > options_.horizon) next = options_.horizon;
+  if (next <= tick_) return;
+  const Priority ceiling = protocol_->CurrentCeiling();
+  blocked_prev_.clear();
+  while (tick_ < next) {
+    ++metrics_.idle_ticks;
+    metrics_.max_ceiling = Max(metrics_.max_ceiling, ceiling);
+    if (options_.record_trace) {
+      TickRecord record;
+      record.tick = tick_;
+      record.ceiling = ceiling;
+      trace_.AddTick(std::move(record));
+    }
+    ++tick_;
+  }
 }
 
 void Simulator::ExecuteTick(Job& job) {
@@ -580,13 +634,10 @@ void Simulator::RecordTick(const Job* runner, StepKind runner_kind) {
     }
   }
   blocked_prev_ = std::move(blocked_ids);
-  for (const auto& owned : jobs_) {
-    const Job& j = *owned;
-    if (!j.active() || (runner != nullptr && j.id() == runner->id())) {
-      continue;
-    }
-    if (!blocked_now_.contains(j.id())) {
-      ++metrics_for(j.spec_id()).preempted_ticks;
+  for (const Job* j : active_jobs_) {
+    if (runner != nullptr && j->id() == runner->id()) continue;
+    if (!blocked_now_.contains(j->id())) {
+      ++metrics_for(j->spec_id()).preempted_ticks;
     }
   }
 
@@ -618,9 +669,14 @@ void Simulator::RecordTick(const Job* runner, StepKind runner_kind) {
 
 void Simulator::AuditNow() {
   if (auditor_ == nullptr) return;
-  std::vector<const Job*> all;
-  all.reserve(jobs_.size());
-  for (const auto& owned : jobs_) all.push_back(owned.get());
+  // The audit scans the active set plus this tick's retirements (so a
+  // commit/drop that leaks a lock or a workspace write is caught at
+  // retirement time); anything older resolves through scope.lookup.
+  std::vector<const Job*> scanned;
+  scanned.reserve(active_jobs_.size() + retired_this_tick_.size());
+  scanned.insert(scanned.end(), active_jobs_.begin(), active_jobs_.end());
+  scanned.insert(scanned.end(), retired_this_tick_.begin(),
+                 retired_this_tick_.end());
   std::map<JobId, std::vector<JobId>> blocked;
   for (const auto& [id, pb] : blocked_now_) blocked[id] = pb.blockers;
   AuditScope scope;
@@ -631,7 +687,8 @@ void Simulator::AuditNow() {
   scope.locks = &lock_table_;
   scope.database = &database_;
   scope.waits = &wait_graph_;
-  scope.jobs = &all;
+  scope.jobs = &scanned;
+  scope.lookup = this;
   scope.blocked = &blocked;
   const std::size_t before = auditor_->report().violations.size();
   auditor_->AuditTick(scope);
@@ -665,11 +722,20 @@ SimResult Simulator::Run() {
   }
   if (options_.audit) auditor_ = std::make_unique<InvariantAuditor>();
   protocol_->Attach(this);
+  trace_.SetCapacity(options_.max_trace_events);
   metrics_.per_spec.assign(static_cast<std::size_t>(set_->size()),
                            SpecMetrics{});
   metrics_.horizon = options_.horizon;
 
-  for (tick_ = 0; tick_ < options_.horizon && !halted_; ++tick_) {
+  // Idle gaps can be fast-forwarded only when no per-tick observer is
+  // attached: a fault plan may inject arrivals or draw per-tick
+  // randomness, and the auditor must inspect every tick.
+  const bool fast_forward_idle =
+      fault_plan_ == nullptr && auditor_ == nullptr;
+
+  tick_ = 0;
+  while (tick_ < options_.horizon && !halted_) {
+    retired_this_tick_.clear();
     ReleaseArrivals();
     CheckDeadlines();
     if (halted_) break;
@@ -691,6 +757,16 @@ SimResult Simulator::Run() {
     }
     RecordTick(runner, runner_kind);
     AuditNow();
+    ++tick_;
+    if (fast_forward_idle && active_jobs_.empty()) FastForwardIdleGap();
+  }
+
+  // Jobs still in flight whose deadline lies beyond the horizon never got
+  // the chance to miss (or meet) it; MissRatio excludes them.
+  for (const Job* pending : active_jobs_) {
+    if (!pending->deadline_miss_recorded()) {
+      ++metrics_for(pending->spec_id()).pending_at_horizon;
+    }
   }
 
   // Fold leftover per-job blocking maxima into the per-spec metrics.

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "sched/metrics.h"
 #include "sched/wait_graph.h"
 #include "sim/arrival_schedule.h"
+#include "sim/calendar.h"
 #include "trace/trace.h"
 #include "txn/job.h"
 #include "txn/spec.h"
@@ -66,6 +68,12 @@ struct SimulatorOptions {
   /// Run the per-tick invariant auditor; violations land in
   /// SimResult.audit and make SimResult.status non-OK.
   bool audit = false;
+  /// When non-zero, bound the recorded trace to (roughly) the most recent
+  /// `max_trace_events` discrete events and the same number of tick
+  /// records, so long horizons don't hold every event ever traced in
+  /// memory. 0 (default) keeps everything. Dropped counts are reported by
+  /// Trace::dropped_events()/dropped_ticks().
+  std::size_t max_trace_events = 0;
 };
 
 /// Outcome of one run.
@@ -85,6 +93,15 @@ struct SimResult {
 /// transaction scheduler of the paper, parameterized by a concurrency
 /// control protocol. Discrete time; each tick the highest running-priority
 /// job that can make progress executes (Section 5).
+///
+/// The inner loop is event-driven: arrivals come from a calendar cursor
+/// (O(log specs) per release instead of an O(specs) scan per tick), jobs
+/// leave the scan set the moment they commit or are dropped (the full
+/// archive stays addressable by id for metrics, replay and the auditor),
+/// and ticks where no job is in flight are fast-forwarded to the next
+/// arrival while still being credited as idle — with traces, metrics and
+/// audit reports bit-identical to the per-tick engine it replaced (pinned
+/// by tests/determinism_test.cc).
 class Simulator : public SimView {
  public:
   /// `set` and `protocol` must outlive the simulator.
@@ -116,6 +133,17 @@ class Simulator : public SimView {
     std::string note;
   };
 
+  /// Pops the arrivals due at tick_ from the schedule override or the
+  /// calendar cursor (both yield (tick, spec) order).
+  std::vector<Arrival> TakeDueArrivals();
+  /// Tick of the next not-yet-released arrival, or kNoTick if none left.
+  Tick NextArrivalTick() const;
+  /// With no job in flight, jumps tick_ to the next arrival (capped at the
+  /// horizon), crediting idle_ticks and emitting the same idle TickRecords
+  /// the per-tick loop would have. Only called when neither a fault plan
+  /// (which may inject arrivals or consume per-tick randomness) nor the
+  /// auditor (which inspects every tick) is attached.
+  void FastForwardIdleGap();
   void ReleaseArrivals();
   void CheckDeadlines();
   /// Applies this tick's job faults (aborts, spurious restarts, WCET
@@ -141,6 +169,10 @@ class Simulator : public SimView {
   /// writes, releases locks, restarts from the first step.
   void AbortAndRestart(Job& victim, const char* why);
   void DropJob(Job& job);
+  /// Moves a just-committed/dropped job out of the active scan set; it
+  /// stays in the jobs_ archive (and in retired_this_tick_ for this
+  /// tick's audit).
+  void RetireJob(Job& job);
   void RecordTick(const Job* runner, StepKind runner_kind);
   std::vector<Job*> ActiveJobs();
   SpecMetrics& metrics_for(SpecId spec);
@@ -164,7 +196,20 @@ class Simulator : public SimView {
   Tick tick_ = 0;
   std::int64_t seq_ = 0;
   bool halted_ = false;
+  /// Archive of every released job, owning, indexed by JobId. Retired
+  /// (committed/dropped) jobs stay here for metrics, replay-checking and
+  /// auditor lookups; only active_jobs_ is scanned per tick.
   std::vector<std::unique_ptr<Job>> jobs_;
+  /// The per-tick scan set: jobs still in flight, in id (= release)
+  /// order. Maintained by ReleaseArrivals and RetireJob.
+  std::vector<Job*> active_jobs_;
+  /// Jobs that retired during the current tick; the end-of-tick audit
+  /// still sees their final state.
+  std::vector<const Job*> retired_this_tick_;
+  /// Event source when no arrival-schedule override is set.
+  std::optional<ArrivalCalendar::Cursor> calendar_cursor_;
+  /// Read position into options_.arrival_schedule->arrivals().
+  std::size_t schedule_pos_ = 0;
   /// Jobs blocked this tick (job id -> details), rebuilt each tick.
   std::map<JobId, PendingBlock> blocked_now_;
   /// Block annotation per job during the previous tick (for the kBlock

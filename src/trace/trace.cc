@@ -1,5 +1,7 @@
 #include "trace/trace.h"
 
+#include <cstddef>
+
 #include "common/check.h"
 #include "common/strings.h"
 
@@ -55,11 +57,37 @@ std::string TraceEvent::DebugString() const {
   return out;
 }
 
-void Trace::AddEvent(TraceEvent event) { events_.push_back(std::move(event)); }
+namespace {
+
+/// Evicts the oldest entries once `buffer` holds twice the capacity,
+/// keeping the newest `capacity`. Amortized O(1) per append.
+template <typename T>
+std::int64_t CompactToCapacity(std::vector<T>& buffer,
+                               std::size_t capacity) {
+  if (capacity == 0 || buffer.size() < 2 * capacity) return 0;
+  const std::size_t evict = buffer.size() - capacity;
+  buffer.erase(buffer.begin(),
+               buffer.begin() + static_cast<std::ptrdiff_t>(evict));
+  return static_cast<std::int64_t>(evict);
+}
+
+}  // namespace
+
+void Trace::SetCapacity(std::size_t max_events) {
+  capacity_ = max_events;
+  dropped_events_ += CompactToCapacity(events_, capacity_);
+  dropped_ticks_ += CompactToCapacity(ticks_, capacity_);
+}
+
+void Trace::AddEvent(TraceEvent event) {
+  events_.push_back(std::move(event));
+  dropped_events_ += CompactToCapacity(events_, capacity_);
+}
 
 void Trace::AddTick(TickRecord record) {
   PCPDA_CHECK(ticks_.empty() || ticks_.back().tick + 1 == record.tick);
   ticks_.push_back(std::move(record));
+  dropped_ticks_ += CompactToCapacity(ticks_, capacity_);
 }
 
 std::vector<TraceEvent> Trace::EventsOfKind(TraceKind kind) const {
@@ -88,10 +116,15 @@ std::optional<TraceEvent> Trace::FirstEvent(TraceKind kind,
 }
 
 SpecId Trace::RunningSpecAt(Tick tick) const {
-  if (tick < 0 || static_cast<std::size_t>(tick) >= ticks_.size()) {
+  // Tick records are consecutive, so index relative to the first retained
+  // one (tick 0 unless a capacity bound evicted the front of the run).
+  if (ticks_.empty()) return kInvalidSpec;
+  const Tick first = ticks_.front().tick;
+  if (tick < first ||
+      static_cast<std::size_t>(tick - first) >= ticks_.size()) {
     return kInvalidSpec;
   }
-  return ticks_[static_cast<std::size_t>(tick)].running_spec;
+  return ticks_[static_cast<std::size_t>(tick - first)].running_spec;
 }
 
 Tick Trace::RunningTicks(SpecId spec) const {

@@ -71,13 +71,28 @@ struct TickRecord {
 
 /// Full record of one simulation run: the per-tick schedule plus discrete
 /// events, with query helpers used by tests and the Gantt renderer.
+///
+/// By default every event and tick record is retained. SetCapacity turns
+/// the trace into a bounded ring holding the most recent records, so
+/// week-long horizons don't accumulate an unbounded event vector; all
+/// query helpers then answer over the retained window only.
 class Trace {
  public:
+  /// Bounds the retained window to (at least) the most recent `max_events`
+  /// discrete events and the same number of tick records; 0 restores the
+  /// unbounded default. Appends stay amortized O(1): each buffer compacts
+  /// back down to `max_events` once it grows to twice that.
+  void SetCapacity(std::size_t max_events);
+
   void AddEvent(TraceEvent event);
   void AddTick(TickRecord record);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::vector<TickRecord>& ticks() const { return ticks_; }
+
+  /// Records evicted by the capacity bound (0 for unbounded traces).
+  std::int64_t dropped_events() const { return dropped_events_; }
+  std::int64_t dropped_ticks() const { return dropped_ticks_; }
 
   /// Events of one kind, in order.
   std::vector<TraceEvent> EventsOfKind(TraceKind kind) const;
@@ -100,6 +115,9 @@ class Trace {
  private:
   std::vector<TraceEvent> events_;
   std::vector<TickRecord> ticks_;
+  std::size_t capacity_ = 0;
+  std::int64_t dropped_events_ = 0;
+  std::int64_t dropped_ticks_ = 0;
 };
 
 }  // namespace pcpda

@@ -413,6 +413,25 @@ TEST(ResponsePercentileTest, NearestRank) {
   EXPECT_EQ(m.ResponsePercentile(1.0), 9);
 }
 
+TEST(ResponsePercentileTest, ExtremesAreExactOrderStatistics) {
+  SpecMetrics m;
+  m.responses = {4, 2, 8, 6};  // even count: rounding ranks would drift
+  EXPECT_EQ(m.ResponsePercentile(0.0), 2);  // exact minimum
+  EXPECT_EQ(m.ResponsePercentile(1.0), 8);  // exact maximum
+  // Nearest rank: index ceil(p*n)-1 over the sorted sample {2,4,6,8}.
+  EXPECT_EQ(m.ResponsePercentile(0.25), 2);
+  EXPECT_EQ(m.ResponsePercentile(0.5), 4);
+  EXPECT_EQ(m.ResponsePercentile(0.75), 6);
+}
+
+TEST(ResponsePercentileTest, SingleSample) {
+  SpecMetrics m;
+  m.responses = {7};
+  EXPECT_EQ(m.ResponsePercentile(0.0), 7);
+  EXPECT_EQ(m.ResponsePercentile(0.5), 7);
+  EXPECT_EQ(m.ResponsePercentile(1.0), 7);
+}
+
 TEST(ResponsePercentileTest, EmptyIsZero) {
   SpecMetrics m;
   EXPECT_EQ(m.ResponsePercentile(0.9), 0);

@@ -112,6 +112,102 @@ TEST(ArrivalScheduleTest, FromArrivalsRenumbersInstances) {
   EXPECT_EQ(schedule->arrivals()[2].instance, 0);
 }
 
+// --- Calendar arrival semantics ----------------------------------------------
+
+TransactionSet BoundarySpecs() {
+  // Periodic A (offset 0), periodic B (offset 3), one-shot Once (offset 7).
+  TransactionSpec a{.name = "A", .period = 10, .body = {Compute(1)}};
+  TransactionSpec b{.name = "B",
+                    .period = 25,
+                    .offset = 3,
+                    .body = {Compute(2)}};
+  TransactionSpec once{
+      .name = "Once", .period = 0, .offset = 7, .body = {Compute(1)}};
+  auto set = TransactionSet::Create({a, b, once});
+  return std::move(set).value();
+}
+
+TEST(ArrivalCalendarTest, HorizonBoundaryIsHalfOpen) {
+  const TransactionSet set = BoundarySpecs();
+  const ArrivalCalendar calendar(&set);
+  // A releases at 0, 10, 20, ...: the release at exactly the horizon is
+  // out, the one at horizon-1 is in.
+  EXPECT_EQ(calendar.CountBefore(0, 10), 1);
+  EXPECT_EQ(calendar.CountBefore(0, 11), 2);
+  // B's offset equals the horizon: its first release has not happened yet.
+  EXPECT_EQ(calendar.CountBefore(1, 3), 0);
+  EXPECT_EQ(calendar.CountBefore(1, 4), 1);
+  // One-shot: exactly one release ever, subject to the same boundary.
+  EXPECT_EQ(calendar.CountBefore(2, 7), 0);
+  EXPECT_EQ(calendar.CountBefore(2, 8), 1);
+  EXPECT_EQ(calendar.CountBefore(2, 1000), 1);
+  // Degenerate horizon.
+  EXPECT_TRUE(calendar.Before(0).empty());
+  EXPECT_EQ(calendar.CountBefore(0, 0), 0);
+}
+
+TEST(ArrivalCalendarTest, BeforeAtAndCountBeforeAgree) {
+  const TransactionSet set = BoundarySpecs();
+  const ArrivalCalendar calendar(&set);
+  const Tick horizon = 53;
+  const std::vector<Arrival> all = calendar.Before(horizon);
+  std::vector<Arrival> from_at;
+  for (Tick t = 0; t < horizon; ++t) {
+    for (const Arrival& arrival : calendar.At(t)) from_at.push_back(arrival);
+  }
+  EXPECT_EQ(all, from_at);
+  for (SpecId i = 0; i < set.size(); ++i) {
+    int in_list = 0;
+    for (const Arrival& arrival : all) {
+      if (arrival.spec == i) ++in_list;
+    }
+    EXPECT_EQ(calendar.CountBefore(i, horizon), in_list) << "spec " << i;
+  }
+}
+
+TEST(ArrivalCalendarTest, CursorMatchesBeforeAndOrdersSimultaneous) {
+  // Equal periods: both specs release together every 10 ticks.
+  TransactionSpec a{.name = "A", .period = 10, .body = {Compute(1)}};
+  TransactionSpec b{.name = "B", .period = 10, .body = {Compute(1)}};
+  auto set = TransactionSet::Create({a, b});
+  ASSERT_TRUE(set.ok());
+  const ArrivalCalendar calendar(&*set);
+  ArrivalCalendar::Cursor cursor = calendar.MakeCursor();
+  std::vector<Arrival> walked;
+  for (Tick next = cursor.NextTick(); next != kNoTick && next < 35;
+       next = cursor.NextTick()) {
+    // PopAt on an arrival-free tick in between is a no-op.
+    if (next > 0) {
+      EXPECT_TRUE(cursor.PopAt(next - 1).empty());
+    }
+    for (const Arrival& arrival : cursor.PopAt(next)) {
+      walked.push_back(arrival);
+    }
+  }
+  EXPECT_EQ(walked, calendar.Before(35));
+  // Simultaneous releases come out in spec-id (priority) order.
+  ASSERT_EQ(walked.size(), 8u);
+  for (std::size_t i = 0; i + 1 < walked.size(); i += 2) {
+    EXPECT_EQ(walked[i].tick, walked[i + 1].tick);
+    EXPECT_EQ(walked[i].spec, 0);
+    EXPECT_EQ(walked[i + 1].spec, 1);
+  }
+}
+
+TEST(ArrivalCalendarTest, CursorExhaustsOneShots) {
+  TransactionSpec once{
+      .name = "Once", .period = 0, .offset = 4, .body = {Compute(1)}};
+  auto set = TransactionSet::Create({once});
+  ASSERT_TRUE(set.ok());
+  ArrivalCalendar::Cursor cursor = ArrivalCalendar(&*set).MakeCursor();
+  EXPECT_EQ(cursor.NextTick(), 4);
+  const std::vector<Arrival> due = cursor.PopAt(4);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], (Arrival{4, 0, 0}));
+  EXPECT_EQ(cursor.NextTick(), kNoTick);
+  EXPECT_TRUE(cursor.PopAt(5).empty());
+}
+
 // --- Simulator integration ---------------------------------------------------
 
 TEST(ArrivalScheduleTest, SimulatorUsesOverride) {

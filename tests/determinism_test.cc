@@ -1,0 +1,135 @@
+// Golden determinism test: a full simulator run over
+// scenarios/example3_faulty.scn must be byte-identical — trace events,
+// per-tick schedule, metrics, history and audit verdict — for every
+// protocol, run after run and engine rewrite after engine rewrite. The
+// golden file was recorded from the pre-event-driven (per-tick full-scan)
+// engine, so it pins the event-driven core to the exact behavior of its
+// predecessor. Regenerate deliberately with
+//
+//   PCPDA_REGEN_GOLDEN=1 ./tests/determinism_test
+//
+// only after verifying that a behavior change is intended.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "protocols/factory.h"
+#include "sched/simulator.h"
+#include "workload/scenario.h"
+
+namespace pcpda {
+namespace {
+
+std::string SourcePath(const char* relative) {
+  return std::string(PCPDA_SOURCE_DIR "/") + relative;
+}
+
+Scenario LoadScenario() {
+  auto scenario = LoadScenarioFile(SourcePath("scenarios/example3_faulty.scn"));
+  EXPECT_TRUE(scenario.ok()) << scenario.status().ToString();
+  return std::move(scenario).value();
+}
+
+std::string RenderTick(const TickRecord& record) {
+  std::string out = StrFormat(
+      "t=%lld run=%lld spec=%d kind=%d ceil=%s",
+      static_cast<long long>(record.tick),
+      static_cast<long long>(record.running_job), record.running_spec,
+      static_cast<int>(record.running_kind),
+      record.ceiling.DebugString().c_str());
+  for (const BlockedSample& blocked : record.blocked) {
+    std::vector<std::string> ids;
+    for (JobId id : blocked.blockers) {
+      ids.push_back(StrFormat("%lld", static_cast<long long>(id)));
+    }
+    out += StrFormat(" blocked{job=%lld item=d%d mode=%s reason=%s by=[%s]}",
+                     static_cast<long long>(blocked.job), blocked.item,
+                     ToString(blocked.mode), ToString(blocked.reason),
+                     Join(ids, ",").c_str());
+  }
+  return out;
+}
+
+/// One protocol's full run rendered as text. Everything observable lands
+/// here: any engine change that perturbs the schedule shows up as a diff.
+std::string RenderRun(const Scenario& scenario, ProtocolKind kind) {
+  auto protocol = MakeProtocol(kind);
+  SimulatorOptions options;
+  options.horizon = scenario.horizon;
+  options.faults = scenario.faults;
+  options.audit = true;
+  options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+  Simulator sim(&scenario.set, protocol.get(), options);
+  const SimResult result = sim.Run();
+
+  std::ostringstream out;
+  out << "=== " << ToString(kind) << " ===\n";
+  out << "status: " << result.status.ToString() << "\n";
+  out << "audit: " << result.audit.DebugString() << "\n";
+  out << "[metrics]\n" << result.metrics.DebugString(scenario.set) << "\n";
+  out << "[events]\n" << result.trace.DebugString() << "\n";
+  out << "[ticks]\n";
+  for (const TickRecord& record : result.trace.ticks()) {
+    out << RenderTick(record) << "\n";
+  }
+  out << "[history]\n" << result.history.DebugString() << "\n";
+  return out.str();
+}
+
+std::string RenderAllProtocols(const Scenario& scenario) {
+  std::ostringstream out;
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    out << RenderRun(scenario, kind);
+  }
+  return out.str();
+}
+
+TEST(DeterminismTest, GoldenExample3FaultyAllProtocols) {
+  const Scenario scenario = LoadScenario();
+  const std::string actual = RenderAllProtocols(scenario);
+  const std::string golden_path =
+      SourcePath("tests/golden/example3_faulty.golden");
+
+  if (std::getenv("PCPDA_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (regenerate with PCPDA_REGEN_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+
+  if (actual != expected.str()) {
+    // Locate the first divergence to keep the failure readable.
+    const std::string& want = expected.str();
+    std::size_t at = 0;
+    while (at < actual.size() && at < want.size() &&
+           actual[at] == want[at]) {
+      ++at;
+    }
+    const std::size_t from = at < 120 ? 0 : at - 120;
+    FAIL() << "run diverges from golden at byte " << at << "\n--- golden:\n"
+           << want.substr(from, 240) << "\n--- actual:\n"
+           << actual.substr(from, 240);
+  }
+}
+
+TEST(DeterminismTest, BackToBackRunsAreIdentical) {
+  const Scenario scenario = LoadScenario();
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    EXPECT_EQ(RenderRun(scenario, kind), RenderRun(scenario, kind))
+        << "protocol " << ToString(kind) << " is not deterministic";
+  }
+}
+
+}  // namespace
+}  // namespace pcpda

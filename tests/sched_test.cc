@@ -313,6 +313,26 @@ TEST(MetricsTest, EmptyMissRatio) {
   EXPECT_TRUE(metrics.AllDeadlinesMet());
 }
 
+TEST(MetricsTest, MissRatioExcludesCensoredPending) {
+  RunMetrics metrics;
+  metrics.per_spec.resize(1);
+  metrics.per_spec[0].released = 5;
+  metrics.per_spec[0].deadline_misses = 1;
+  metrics.per_spec[0].pending_at_horizon = 1;
+  EXPECT_EQ(metrics.TotalPending(), 1);
+  // 1 miss over the 4 decided instances, not the 5 released.
+  EXPECT_DOUBLE_EQ(metrics.MissRatio(), 0.25);
+}
+
+TEST(MetricsTest, MissRatioAllPendingIsZero) {
+  RunMetrics metrics;
+  metrics.per_spec.resize(1);
+  metrics.per_spec[0].released = 2;
+  metrics.per_spec[0].pending_at_horizon = 2;
+  EXPECT_DOUBLE_EQ(metrics.MissRatio(), 0.0);
+}
+
+
 TEST(MetricsTest, MeanResponse) {
   SpecMetrics m;
   EXPECT_DOUBLE_EQ(m.MeanResponse(), 0.0);

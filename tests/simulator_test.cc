@@ -178,6 +178,78 @@ TEST(SimulatorTest, TraceTicksCoverHorizon) {
   }
 }
 
+TEST(SimulatorTest, IdleFastForwardMatchesPerTickEngine) {
+  // Sparse workload: 2 busy ticks then a 98-tick idle gap, every period.
+  // Without an auditor the core fast-forwards the gaps; with one it walks
+  // every tick. Both paths must report byte-identical results.
+  TransactionSet set = MakeSet(
+      {{.name = "Sparse", .period = 100, .body = {Read(0), Write(1)}}});
+  auto run = [&set](bool audit) {
+    auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+    SimulatorOptions options;
+    options.horizon = 1000;
+    options.audit = audit;
+    Simulator sim(&set, protocol.get(), options);
+    return sim.Run();
+  };
+  const SimResult fast = run(false);
+  const SimResult slow = run(true);
+  ASSERT_TRUE(fast.status.ok());
+  ASSERT_TRUE(slow.status.ok());
+  EXPECT_EQ(fast.metrics.DebugString(set), slow.metrics.DebugString(set));
+  EXPECT_EQ(fast.trace.DebugString(), slow.trace.DebugString());
+  EXPECT_EQ(fast.metrics.idle_ticks, 1000 - 10 * 2);
+  // Skipped ticks still produce their idle TickRecords, consecutively.
+  ASSERT_EQ(fast.trace.ticks().size(), 1000u);
+  for (std::size_t t = 0; t < 1000; ++t) {
+    EXPECT_EQ(fast.trace.ticks()[t].tick, static_cast<Tick>(t));
+    EXPECT_EQ(fast.trace.ticks()[t].running_job,
+              slow.trace.ticks()[t].running_job);
+  }
+}
+
+TEST(SimulatorTest, FastForwardStopsAtHorizonWithNoMoreArrivals) {
+  // One-shot job, huge idle tail: the run must still account for every
+  // tick up to the horizon, not stop at the last arrival.
+  TransactionSet set = MakeSet(
+      {{.name = "Once", .period = 0, .offset = 3, .body = {Compute(2)}}});
+  auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+  SimulatorOptions options;
+  options.horizon = 5000;
+  Simulator sim(&set, protocol.get(), options);
+  const SimResult result = sim.Run();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.metrics.per_spec[0].committed, 1);
+  EXPECT_EQ(result.metrics.idle_ticks, 5000 - 2);
+  EXPECT_EQ(result.trace.ticks().size(), 5000u);
+  EXPECT_EQ(result.trace.ticks().back().tick, 4999);
+}
+
+TEST(SimulatorTest, MissRatioCensorsReleaseJustBeforeHorizon) {
+  // A hogs every other tick, so B (needs 5 ticks out of the 4 odd ticks
+  // per period) misses each deadline. B's instance released one tick
+  // before the horizon has a deadline beyond it — neither met nor missed.
+  TransactionSet set = MakeSet(
+      {
+          {.name = "A", .period = 2, .body = {Compute(1)}},
+          {.name = "B", .period = 8, .body = {Compute(5)}},
+      },
+      PriorityAssignment::kRateMonotonic);
+  auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+  SimulatorOptions options;
+  options.horizon = 9;
+  Simulator sim(&set, protocol.get(), options);
+  const SimResult result = sim.Run();
+  const RunMetrics& m = result.metrics;
+  EXPECT_EQ(m.TotalReleased(), 7);  // A at 0,2,4,6,8; B at 0,8
+  EXPECT_EQ(m.TotalMisses(), 1);    // B's first instance, at tick 8
+  // B@8 is censored; B@0 already missed, so it counts as decided even
+  // though it is still running at the horizon.
+  EXPECT_EQ(m.TotalPending(), 1);
+  EXPECT_EQ(m.per_spec[1].pending_at_horizon, 1);
+  EXPECT_DOUBLE_EQ(m.MissRatio(), 1.0 / 6.0);
+}
+
 TEST(SimulatorTest, ResponseTimeMetrics) {
   TransactionSet set = MakeSet({
       {.name = "hi", .period = 5, .body = {Compute(1)}},

@@ -56,6 +56,82 @@ TEST(TraceTest, TickQueries) {
   EXPECT_EQ(trace.MaxCeiling(), Priority(3));
 }
 
+TEST(TraceTest, CapacityBoundsRetainedWindow) {
+  Trace trace;
+  trace.SetCapacity(4);
+  for (Tick t = 0; t < 20; ++t) {
+    TraceEvent event;
+    event.tick = t;
+    event.kind = TraceKind::kArrival;
+    event.job = t;
+    trace.AddEvent(event);
+    TickRecord record;
+    record.tick = t;
+    record.running_spec = static_cast<SpecId>(t % 3);
+    trace.AddTick(record);
+  }
+  // Amortized compaction keeps at most 2x the capacity resident, the
+  // newest entries survive, and every eviction is counted.
+  EXPECT_LE(trace.events().size(), 8u);
+  EXPECT_GE(trace.events().size(), 4u);
+  EXPECT_EQ(trace.events().back().tick, 19);
+  EXPECT_EQ(trace.dropped_events() +
+                static_cast<std::int64_t>(trace.events().size()),
+            20);
+  EXPECT_EQ(trace.dropped_ticks() +
+                static_cast<std::int64_t>(trace.ticks().size()),
+            20);
+  // Tick lookups answer over the retained window, offset-aware.
+  const Tick first = trace.ticks().front().tick;
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(trace.RunningSpecAt(first - 1), kInvalidSpec);
+  EXPECT_EQ(trace.RunningSpecAt(19), static_cast<SpecId>(19 % 3));
+}
+
+TEST(TraceTest, ZeroCapacityKeepsEverything) {
+  Trace trace;
+  trace.SetCapacity(0);
+  for (Tick t = 0; t < 50; ++t) {
+    TickRecord record;
+    record.tick = t;
+    trace.AddTick(record);
+  }
+  EXPECT_EQ(trace.ticks().size(), 50u);
+  EXPECT_EQ(trace.dropped_ticks(), 0);
+}
+
+TEST(TraceTest, BoundedTraceLeavesSimulationUnchanged) {
+  // The ring drops old records but must not perturb the run itself:
+  // metrics from a bounded run match the unbounded run exactly.
+  const PaperExample example = Example3();
+  const TransactionSet& set = example.set;
+  auto run = [&set](std::size_t cap) {
+    auto protocol = MakeProtocol(ProtocolKind::kPcpDa);
+    SimulatorOptions options;
+    options.horizon = 200;
+    options.max_trace_events = cap;
+    Simulator sim(&set, protocol.get(), options);
+    return sim.Run();
+  };
+  const SimResult unbounded = run(0);
+  const SimResult bounded = run(16);
+  EXPECT_EQ(unbounded.metrics.DebugString(set),
+            bounded.metrics.DebugString(set));
+  EXPECT_EQ(unbounded.trace.dropped_events(), 0);
+  EXPECT_GT(bounded.trace.dropped_events(), 0);
+  EXPECT_LE(bounded.trace.events().size(), 32u);
+  EXPECT_LE(bounded.trace.ticks().size(), 32u);
+  // The retained suffix of the bounded trace equals the tail of the full
+  // trace.
+  const auto& full = unbounded.trace.events();
+  const auto& kept = bounded.trace.events();
+  ASSERT_LE(kept.size(), full.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].DebugString(),
+              full[full.size() - kept.size() + i].DebugString());
+  }
+}
+
 TEST(TraceTest, EventDebugString) {
   TraceEvent e;
   e.tick = 3;
