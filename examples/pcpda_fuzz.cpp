@@ -1,0 +1,101 @@
+// Differential scenario fuzzer CLI: generate seeded random workloads +
+// fault plans, run them through all 8 protocols, and check the oracle
+// stack (invariant audit, serializability + replay, metamorphic bounds,
+// determinism). Failures are delta-debugged to minimal .scn repros.
+//
+//   ./build/examples/pcpda_fuzz --seed=1 --iters=200
+//   ./build/examples/pcpda_fuzz --seed=7 --iters=50 --corpus=fuzz/corpus
+//   ./build/examples/pcpda_fuzz --seed=1 --iters=50 --break=all   # must fail
+//
+// Exit codes: 0 no findings, 1 findings (or corpus IO error), 2 usage.
+// Deterministic: the same flags always produce the same findings.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+
+using namespace pcpda;
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --seed=N          campaign seed (default 1)\n"
+      "  --iters=K         scenarios to generate (default 100)\n"
+      "  --horizon-cap=H   max per-scenario horizon (default 240)\n"
+      "  --fault-prob=P    fraction of scenarios with fault plans "
+      "(default 0.5)\n"
+      "  --max-findings=M  stop after M findings (default 8)\n"
+      "  --shrink-evals=E  delta-debug budget per finding (default 400)\n"
+      "  --corpus=DIR      write minimal .scn repros into DIR\n"
+      "  --break=MODE      intentionally break PCP-DA: tstar, wr, or all\n"
+      "                    (oracle-stack self-test; tstar/all must produce\n"
+      "                    findings — wr alone is empirically benign, see\n"
+      "                    EXPERIMENTS.md E13)\n",
+      argv0);
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (ParseFlag(argv[i], "--seed", &value)) {
+      options.seed = std::strtoull(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--iters", &value)) {
+      options.iterations = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--horizon-cap", &value)) {
+      options.horizon_cap = std::strtoll(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--fault-prob", &value)) {
+      options.fault_probability = std::strtod(value, nullptr);
+    } else if (ParseFlag(argv[i], "--max-findings", &value)) {
+      options.max_findings = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--shrink-evals", &value)) {
+      options.shrink.max_evals = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--corpus", &value)) {
+      options.corpus_dir = value;
+    } else if (ParseFlag(argv[i], "--break", &value)) {
+      if (std::strcmp(value, "tstar") == 0) {
+        options.oracles.pcp_da.enable_tstar_guard = false;
+      } else if (std::strcmp(value, "wr") == 0) {
+        options.oracles.pcp_da.enable_wr_guard = false;
+      } else if (std::strcmp(value, "all") == 0) {
+        options.oracles.pcp_da.enable_tstar_guard = false;
+        options.oracles.pcp_da.enable_wr_guard = false;
+      } else {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (options.iterations < 1 || options.horizon_cap < 1 ||
+      options.max_findings < 1) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  ScenarioFuzzer fuzzer(options);
+  const FuzzReport report = fuzzer.Run();
+  std::printf("%s\n", report.Summary().c_str());
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    std::printf("\n--- finding #%zu minimal repro ---\n%s", i,
+                report.findings[i].minimal_text.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}

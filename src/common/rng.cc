@@ -39,7 +39,10 @@ std::uint64_t Rng::Next() {
 
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
   PCPDA_CHECK(lo <= hi);
-  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Width and offset arithmetic stay in uint64: `hi - lo` overflows
+  // int64 whenever the interval spans more than half the domain.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   if (span == 0) {  // Full 64-bit range.
     return static_cast<std::int64_t>(Next());
   }
@@ -47,7 +50,8 @@ std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
   const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % span;
   std::uint64_t value = Next();
   while (value >= limit) value = Next();
-  return lo + static_cast<std::int64_t>(value % span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   value % span);
 }
 
 double Rng::UniformDouble() {

@@ -1,0 +1,88 @@
+#ifndef PCPDA_FUZZ_FUZZER_H_
+#define PCPDA_FUZZ_FUZZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrinker.h"
+#include "workload/scenario.h"
+
+namespace pcpda {
+
+/// Configuration of one differential fuzzing campaign. Everything is
+/// derived from `seed`, so a campaign is reproducible from a single
+/// uint64: the same seed and iteration count always generate the same
+/// scenarios, verdicts, shrinks and corpus files.
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int iterations = 100;
+  /// Upper bound on per-scenario simulation horizons (the drawn horizon
+  /// is uniform in [horizon_cap/2, horizon_cap]).
+  Tick horizon_cap = 240;
+  /// Probability a generated scenario carries a randomized fault plan.
+  double fault_probability = 0.5;
+  /// Stop the campaign after this many findings.
+  int max_findings = 8;
+  /// Protocol selection and the broken-build test hook.
+  OracleOptions oracles;
+  ShrinkOptions shrink;
+  /// Directory crash repros are serialized into (created on demand);
+  /// empty keeps findings in memory only.
+  std::string corpus_dir;
+};
+
+/// One oracle failure, minimized.
+struct FuzzFinding {
+  int iteration = 0;
+  /// Seed of the scenario's own generator stream (derived from the
+  /// campaign seed and iteration; reported so a single scenario can be
+  /// regenerated without replaying the campaign).
+  std::uint64_t scenario_seed = 0;
+  OracleFailure failure;
+  /// The generated scenario, pre-shrink.
+  std::string original_text;
+  /// The minimal repro (equals original_text when shrinking failed to
+  /// reproduce the flake).
+  std::string minimal_text;
+  bool shrunk = false;
+  int shrink_evals = 0;
+  /// Corpus path when FuzzOptions.corpus_dir was set.
+  std::string corpus_file;
+};
+
+/// Campaign outcome.
+struct FuzzReport {
+  int iterations = 0;
+  int scenarios_with_faults = 0;
+  std::vector<FuzzFinding> findings;
+  /// Non-OK when corpus files could not be written.
+  Status io_status;
+
+  bool ok() const { return findings.empty() && io_status.ok(); }
+  std::string Summary() const;
+};
+
+/// The differential scenario fuzzer: composes GenerateWorkload with
+/// randomized fault plans, runs each generated scenario through the
+/// oracle stack over all configured protocols, and delta-debugs every
+/// failure down to a minimal .scn repro.
+class ScenarioFuzzer {
+ public:
+  explicit ScenarioFuzzer(FuzzOptions options);
+
+  /// The deterministic scenario for `iteration` of this campaign.
+  /// Exposed so tests and the CLI can regenerate a single case.
+  StatusOr<Scenario> MakeScenario(int iteration) const;
+
+  /// Runs the campaign.
+  FuzzReport Run();
+
+ private:
+  FuzzOptions options_;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_FUZZ_FUZZER_H_

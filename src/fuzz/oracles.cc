@@ -1,0 +1,322 @@
+#include "fuzz/oracles.h"
+
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "analysis/blocking.h"
+#include "common/strings.h"
+#include "history/replay_checker.h"
+#include "history/serialization_graph.h"
+#include "sched/simulator.h"
+
+namespace pcpda {
+namespace {
+
+Tick ResolveHorizon(const Scenario& scenario, const OracleOptions& options) {
+  if (options.horizon > 0) return options.horizon;
+  if (scenario.horizon > 0) return scenario.horizon;
+  const Tick hyper = scenario.set.Hyperperiod();
+  return hyper > 0 && hyper < kNoTick / 2 ? 2 * hyper : 0;
+}
+
+std::unique_ptr<Protocol> MakeOracleProtocol(ProtocolKind kind,
+                                             const OracleOptions& options) {
+  if (kind == ProtocolKind::kPcpDa) {
+    return std::make_unique<PcpDa>(options.pcp_da);
+  }
+  return MakeProtocol(kind);
+}
+
+SimResult RunOnce(const Scenario& scenario, ProtocolKind kind,
+                  Tick horizon, const OracleOptions& options) {
+  auto protocol = MakeOracleProtocol(kind, options);
+  SimulatorOptions sim_options;
+  sim_options.horizon = horizon;
+  sim_options.faults = scenario.faults;
+  sim_options.audit = true;
+  sim_options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+  Simulator simulator(&scenario.set, protocol.get(), sim_options);
+  return simulator.Run();
+}
+
+std::string RenderTick(const TickRecord& record) {
+  std::string out = StrFormat(
+      "t=%lld run=%lld spec=%d kind=%d ceil=%s",
+      static_cast<long long>(record.tick),
+      static_cast<long long>(record.running_job), record.running_spec,
+      static_cast<int>(record.running_kind),
+      record.ceiling.DebugString().c_str());
+  for (const BlockedSample& blocked : record.blocked) {
+    std::vector<std::string> ids;
+    for (JobId id : blocked.blockers) {
+      ids.push_back(StrFormat("%lld", static_cast<long long>(id)));
+    }
+    out += StrFormat(" blocked{job=%lld item=d%d mode=%s reason=%s by=[%s]}",
+                     static_cast<long long>(blocked.job), blocked.item,
+                     ToString(blocked.mode), ToString(blocked.reason),
+                     Join(ids, ",").c_str());
+  }
+  return out;
+}
+
+/// Every observable byte of one run, for the nondeterminism oracle: any
+/// divergence between two same-seed runs shows up as a digest diff.
+std::string RenderDigest(const Scenario& scenario, const SimResult& result) {
+  std::ostringstream out;
+  out << "status: " << result.status.ToString() << "\n";
+  out << "audit: " << result.audit.DebugString() << "\n";
+  out << "[metrics]\n" << result.metrics.DebugString(scenario.set) << "\n";
+  out << "[events]\n" << result.trace.DebugString() << "\n";
+  out << "[ticks]\n";
+  for (const TickRecord& record : result.trace.ticks()) {
+    out << RenderTick(record) << "\n";
+  }
+  out << "[history]\n" << result.history.DebugString() << "\n";
+  return out.str();
+}
+
+std::size_t FirstDivergence(const std::string& a, const std::string& b) {
+  std::size_t at = 0;
+  while (at < a.size() && at < b.size() && a[at] == b[at]) ++at;
+  return at;
+}
+
+class OracleRunner {
+ public:
+  OracleRunner(const Scenario& scenario, const OracleOptions& options)
+      : scenario_(scenario), options_(options) {}
+
+  OracleVerdict Run() {
+    const Tick horizon = ResolveHorizon(scenario_, options_);
+    if (horizon <= 0) {
+      Fail("config", "",
+           "no usable horizon: scenario has none and no finite "
+           "hyperperiod");
+      return std::move(verdict_);
+    }
+    std::vector<ProtocolKind> kinds = options_.protocols;
+    if (kinds.empty()) kinds = AllProtocolKinds();
+
+    const bool fault_free = scenario_.faults.faults.empty();
+    std::map<std::string, std::int64_t> released_by_protocol;
+    for (ProtocolKind kind : kinds) {
+      const SimResult result = RunOnce(scenario_, kind, horizon, options_);
+      CheckOne(kind, horizon, result, fault_free);
+      released_by_protocol[ToString(kind)] =
+          result.metrics.TotalReleased();
+      if (options_.check_determinism) {
+        const SimResult again =
+            RunOnce(scenario_, kind, horizon, options_);
+        const std::string first = RenderDigest(scenario_, result);
+        const std::string second = RenderDigest(scenario_, again);
+        if (first != second) {
+          const std::size_t at = FirstDivergence(first, second);
+          Fail("determinism", ToString(kind),
+               StrFormat("re-run diverges at digest byte %zu: ...%s... "
+                         "vs ...%s...",
+                         at, first.substr(at, 48).c_str(),
+                         second.substr(at, 48).c_str()));
+        }
+      }
+    }
+    if (fault_free && released_by_protocol.size() > 1) {
+      const auto& first = *released_by_protocol.begin();
+      for (const auto& [name, released] : released_by_protocol) {
+        if (released != first.second) {
+          Fail("released-equal", "",
+               StrFormat("%s released %lld jobs but %s released %lld in "
+                         "a fault-free run",
+                         first.first.c_str(),
+                         static_cast<long long>(first.second),
+                         name.c_str(), static_cast<long long>(released)));
+          break;
+        }
+      }
+    }
+    return std::move(verdict_);
+  }
+
+ private:
+  void Fail(const char* oracle, std::string protocol, std::string detail) {
+    verdict_.failures.push_back(
+        OracleFailure{oracle, std::move(protocol), std::move(detail)});
+  }
+
+  void CheckOne(ProtocolKind kind, Tick horizon, const SimResult& result,
+                bool fault_free) {
+    const char* name = ToString(kind);
+    const bool ceiling =
+        MakeOracleProtocol(kind, options_)->ceiling_rule() !=
+        CeilingRule::kNone;
+
+    // (a) the per-tick invariant auditor accepted every tick.
+    if (!result.audit.ok()) {
+      const auto& violations = result.audit.violations;
+      Fail("audit", name,
+           StrFormat("%zu violation(s), first: %s", violations.size(),
+                     violations.empty()
+                         ? "(suppressed)"
+                         : violations.front().DebugString().c_str()));
+    } else if (!result.status.ok()) {
+      Fail("config", name, result.status.ToString());
+      return;  // The run never happened; nothing further to check.
+    }
+
+    // (b) committed history serializable, and the serial witness replays.
+    if (!IsSerializable(result.history)) {
+      const auto check =
+          SerializationGraph::Build(result.history).CheckAcyclic();
+      std::vector<std::string> ids;
+      for (JobId id : check.cycle) {
+        ids.push_back(StrFormat("%lld", static_cast<long long>(id)));
+      }
+      Fail("serializability", name,
+           "serialization graph cycle: " + Join(ids, " -> "));
+    } else {
+      const ReplayResult replay = ReplaySerialWitness(
+          result.history, scenario_.set.item_count());
+      if (!replay.ok()) {
+        Fail("replay", name,
+             replay.mismatches.empty()
+                 ? "witness extraction failed"
+                 : replay.mismatches.front().DebugString());
+      }
+    }
+
+    // (c) metamorphic bounds.
+    const RunMetrics& metrics = result.metrics;
+    if (ceiling && (result.deadlock_detected || metrics.deadlocks > 0)) {
+      Fail("deadlock-free", name,
+           StrFormat("ceiling protocol hit %lld wait-for cycle(s)",
+                     static_cast<long long>(metrics.deadlocks)));
+    }
+    if (ceiling && fault_free && metrics.TotalRestarts() > 0) {
+      Fail("no-restarts", name,
+           StrFormat("ceiling protocol restarted %lld job(s) without "
+                     "injected faults",
+                     static_cast<long long>(metrics.TotalRestarts())));
+    }
+    if (fault_free && ceiling) CheckBlockingBound(kind, metrics);
+    CheckMetricsSane(name, horizon, metrics);
+  }
+
+  void CheckBlockingBound(ProtocolKind kind, const RunMetrics& metrics) {
+    // Only the four ceiling protocols have a Section-9 analysis; for
+    // PCP-DA the guard ablation can only loosen behavior the other
+    // oracles see, so the bound stays meaningful under the test hook.
+    const auto analyzable = AnalyzableProtocolKinds();
+    bool found = false;
+    for (ProtocolKind a : analyzable) found = found || a == kind;
+    if (!found) return;
+    const BlockingAnalysis analysis =
+        ComputeBlocking(scenario_.set, kind);
+    for (SpecId i = 0;
+         i < static_cast<SpecId>(metrics.per_spec.size()); ++i) {
+      const Tick observed =
+          metrics.per_spec[static_cast<std::size_t>(i)]
+              .max_effective_blocking;
+      if (observed > analysis.B(i)) {
+        Fail("blocking-bound", ToString(kind),
+             StrFormat("%s blocked %lld ticks, Section-9 bound B=%lld",
+                       scenario_.set.spec(i).name.c_str(),
+                       static_cast<long long>(observed),
+                       static_cast<long long>(analysis.B(i))));
+      }
+    }
+  }
+
+  void CheckMetricsSane(const char* name, Tick horizon,
+                        const RunMetrics& metrics) {
+    const double miss_ratio = metrics.MissRatio();
+    if (miss_ratio < 0.0 || miss_ratio > 1.0) {
+      Fail("metrics-sane", name,
+           StrFormat("miss ratio %g outside [0, 1]", miss_ratio));
+    }
+    if (metrics.TotalCommitted() > metrics.TotalReleased()) {
+      Fail("metrics-sane", name,
+           StrFormat("committed %lld > released %lld",
+                     static_cast<long long>(metrics.TotalCommitted()),
+                     static_cast<long long>(metrics.TotalReleased())));
+    }
+    Tick busy = 0;
+    for (const SpecMetrics& spec : metrics.per_spec) {
+      busy += spec.busy_ticks;
+      if (spec.committed + spec.dropped + spec.pending_at_horizon >
+          spec.released) {
+        Fail("metrics-sane", name,
+             StrFormat("per-spec outcomes %lld exceed releases %lld",
+                       static_cast<long long>(spec.committed +
+                                              spec.dropped +
+                                              spec.pending_at_horizon),
+                       static_cast<long long>(spec.released)));
+      }
+      if (spec.max_effective_blocking > spec.effective_blocking_ticks) {
+        Fail("metrics-sane", name,
+             "per-instance max effective blocking exceeds the spec "
+             "total");
+      }
+    }
+    const bool halted =
+        metrics.halted_on_deadlock || metrics.halted_on_miss;
+    if (busy + metrics.idle_ticks > horizon ||
+        (!halted && busy + metrics.idle_ticks != horizon)) {
+      Fail("metrics-sane", name,
+           StrFormat("busy %lld + idle %lld vs horizon %lld",
+                     static_cast<long long>(busy),
+                     static_cast<long long>(metrics.idle_ticks),
+                     static_cast<long long>(horizon)));
+    }
+  }
+
+  const Scenario& scenario_;
+  const OracleOptions& options_;
+  OracleVerdict verdict_;
+};
+
+}  // namespace
+
+std::string OracleFailure::DebugString() const {
+  std::string out = "[" + oracle + "]";
+  if (!protocol.empty()) out += " " + protocol;
+  return out + ": " + detail;
+}
+
+std::string OracleVerdict::DebugString() const {
+  if (ok()) return "all oracles passed";
+  std::vector<std::string> lines;
+  for (const OracleFailure& failure : failures) {
+    lines.push_back(failure.DebugString());
+  }
+  return Join(lines, "\n");
+}
+
+OracleVerdict RunOracles(const Scenario& scenario,
+                         const OracleOptions& options) {
+  return OracleRunner(scenario, options).Run();
+}
+
+bool Reproduces(const Scenario& scenario, const OracleOptions& options,
+                const OracleFailure& failure) {
+  OracleOptions restricted = options;
+  // The determinism oracle is the only one that needs the double run.
+  restricted.check_determinism = failure.oracle == "determinism";
+  if (!failure.protocol.empty()) {
+    for (ProtocolKind kind : AllProtocolKinds()) {
+      if (failure.protocol == ToString(kind)) {
+        restricted.protocols = {kind};
+        break;
+      }
+    }
+  }
+  const OracleVerdict verdict = RunOracles(scenario, restricted);
+  for (const OracleFailure& got : verdict.failures) {
+    if (got.oracle != failure.oracle) continue;
+    if (failure.protocol.empty() || got.protocol == failure.protocol) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pcpda

@@ -1,0 +1,87 @@
+#ifndef PCPDA_FUZZ_ORACLES_H_
+#define PCPDA_FUZZ_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pcp_da.h"
+#include "protocols/factory.h"
+#include "workload/scenario.h"
+
+namespace pcpda {
+
+/// Configuration for one oracle-stack evaluation of a scenario.
+struct OracleOptions {
+  /// Simulation horizon; 0 falls back to the scenario's own horizon and
+  /// then to twice its hyperperiod.
+  Tick horizon = 0;
+  /// Protocols to run; empty means all 8 kinds from the factory.
+  std::vector<ProtocolKind> protocols;
+  /// Options for the PCP-DA instance. The fuzzer's acceptance test turns
+  /// the locking-condition guards off here to prove the oracles catch an
+  /// intentionally broken protocol build.
+  PcpDaOptions pcp_da;
+  /// Re-run every simulation a second time and compare the rendered
+  /// trace/metrics/history bytes (nondeterminism oracle). Doubles the
+  /// simulation cost; the shrinker turns it off while minimizing a
+  /// failure found by a cheaper oracle.
+  bool check_determinism = true;
+};
+
+/// One oracle violation. `oracle` is a stable identifier the shrinker
+/// matches on while minimizing:
+///
+///   config           simulator rejected the run configuration
+///   audit            per-tick invariant auditor reported violations
+///   serializability  committed history has a cyclic serialization graph
+///   replay           serial-witness replay observed a mismatched read
+///   deadlock-free    a ceiling protocol hit a wait-for cycle
+///   no-restarts      a ceiling protocol restarted jobs in a fault-free run
+///   blocking-bound   fault-free per-job blocking exceeded Section-9 B_i
+///   metrics-sane     counter bookkeeping inconsistent (ratios, totals)
+///   released-equal   fault-free runs released different job counts
+///                    across protocols
+///   determinism      re-running the same configuration diverged
+struct OracleFailure {
+  std::string oracle;
+  /// Protocol name, empty for cross-protocol oracles (released-equal).
+  std::string protocol;
+  std::string detail;
+
+  std::string DebugString() const;
+};
+
+/// Everything the oracle stack concluded about one scenario.
+struct OracleVerdict {
+  std::vector<OracleFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string DebugString() const;
+};
+
+/// Runs `scenario` through every configured protocol and applies the
+/// oracle stack:
+///   (a) the per-tick invariant auditor accepts every tick;
+///   (b) the committed history is conflict serializable and survives the
+///       serial-witness replay;
+///   (c) metamorphic bounds: ceiling protocols never deadlock, fault-free
+///       ceiling runs never restart and respect the Section-9 worst-case
+///       blocking bound, counters stay internally consistent, and
+///       fault-free runs release identical job counts under every
+///       protocol;
+///   (d) re-running the same configuration is bit-identical.
+/// All failures are collected (no early exit) so the caller can report
+/// every protocol the scenario broke.
+OracleVerdict RunOracles(const Scenario& scenario,
+                         const OracleOptions& options);
+
+/// True when re-checking `scenario` still produces a failure of the same
+/// oracle (and, for protocol-specific oracles, the same protocol) as
+/// `failure`. The shrinker's reproduction predicate: restricting the
+/// check to the failing protocol keeps minimization cheap.
+bool Reproduces(const Scenario& scenario, const OracleOptions& options,
+                const OracleFailure& failure);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_FUZZ_ORACLES_H_

@@ -1,0 +1,275 @@
+#include "fuzz/shrinker.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace pcpda {
+namespace {
+
+/// Mutable decomposition of a scenario. Specs are kept in priority order
+/// and re-assembled as-listed, so priorities survive every edit; fault
+/// spec ids index into `specs` and are remapped when a spec is dropped.
+struct Candidate {
+  std::string name;
+  Tick horizon = 0;
+  std::vector<TransactionSpec> specs;
+  FaultConfig faults;
+};
+
+Candidate FromScenario(const Scenario& scenario) {
+  Candidate candidate;
+  candidate.name = scenario.name;
+  candidate.horizon = scenario.horizon;
+  for (SpecId i = 0; i < scenario.set.size(); ++i) {
+    candidate.specs.push_back(scenario.set.spec(i));
+  }
+  candidate.faults = scenario.faults;
+  return candidate;
+}
+
+/// Rebuilds the candidate into a parsed scenario through the .scn text
+/// format. Returning through ParseScenario guarantees that whatever the
+/// shrinker accepts also reproduces from the serialized file.
+std::optional<std::pair<std::string, Scenario>> Materialize(
+    const Candidate& candidate) {
+  auto set = TransactionSet::Create(candidate.specs,
+                                    PriorityAssignment::kAsListed);
+  if (!set.ok()) return std::nullopt;
+  const Scenario assembled{candidate.name, std::move(set).value(),
+                           candidate.horizon, {}, candidate.faults};
+  // Guard FormatScenario's spec-name lookups before serializing.
+  for (const FaultSpec& fault : candidate.faults.faults) {
+    if (fault.spec != kInvalidSpec &&
+        (fault.spec < 0 || fault.spec >= assembled.set.size())) {
+      return std::nullopt;
+    }
+  }
+  std::string text = FormatScenario(assembled);
+  auto parsed = ParseScenario(text);
+  if (!parsed.ok()) return std::nullopt;
+  return std::make_pair(std::move(text), std::move(parsed).value());
+}
+
+class ShrinkRun {
+ public:
+  ShrinkRun(const OracleOptions& oracles, const OracleFailure& failure,
+            const ShrinkOptions& options)
+      : oracles_(oracles), failure_(failure), options_(options) {}
+
+  ShrinkResult Minimize(const Scenario& input) {
+    current_ = FromScenario(input);
+    if (!Reproduces_(current_)) {
+      // Flaky or round-trip-sensitive finding; report it unshrunk.
+      return ShrinkResult{false, FormatScenario(input), input, evals_, 0};
+    }
+    int rounds = 0;
+    bool changed = true;
+    while (changed && rounds < options_.max_rounds && !Exhausted()) {
+      changed = false;
+      changed |= DropTransactions();
+      changed |= DropFaults();
+      changed |= DropSteps();
+      changed |= ShrinkDurations();
+      changed |= SimplifySpecs();
+      changed |= SimplifyFaultAttrs();
+      changed |= ShrinkHorizon();
+      ++rounds;
+    }
+    auto materialized = Materialize(current_);
+    PCPDA_CHECK_MSG(materialized.has_value(),
+                    "accepted shrink candidate failed to materialize");
+    return ShrinkResult{true, std::move(materialized->first),
+                        std::move(materialized->second), evals_, rounds};
+  }
+
+ private:
+  bool Exhausted() const { return evals_ >= options_.max_evals; }
+
+  /// True when `candidate` still reproduces the target failure from its
+  /// serialized form. Consumes one evaluation.
+  bool Reproduces_(const Candidate& candidate) {
+    if (Exhausted()) return false;
+    ++evals_;
+    const auto materialized = Materialize(candidate);
+    if (!materialized.has_value()) return false;
+    return Reproduces(materialized->second, oracles_, failure_);
+  }
+
+  /// Accepts `candidate` as the new current scenario if it reproduces.
+  bool TryAccept(Candidate candidate) {
+    if (!Reproduces_(candidate)) return false;
+    current_ = std::move(candidate);
+    return true;
+  }
+
+  bool DropTransactions() {
+    bool changed = false;
+    // Lowest priority first: victims of blocking usually sit at the top,
+    // so the tail is the likelier dead weight.
+    for (int i = static_cast<int>(current_.specs.size()) - 1;
+         i >= 0 && !Exhausted(); --i) {
+      if (current_.specs.size() <= 1) break;
+      Candidate candidate = current_;
+      candidate.specs.erase(candidate.specs.begin() + i);
+      std::vector<FaultSpec> kept;
+      for (FaultSpec fault : candidate.faults.faults) {
+        if (fault.spec == static_cast<SpecId>(i)) continue;
+        if (fault.spec != kInvalidSpec &&
+            fault.spec > static_cast<SpecId>(i)) {
+          --fault.spec;
+        }
+        kept.push_back(fault);
+      }
+      candidate.faults.faults = std::move(kept);
+      changed |= TryAccept(std::move(candidate));
+    }
+    return changed;
+  }
+
+  bool DropFaults() {
+    bool changed = false;
+    for (int i = static_cast<int>(current_.faults.faults.size()) - 1;
+         i >= 0 && !Exhausted(); --i) {
+      Candidate candidate = current_;
+      candidate.faults.faults.erase(candidate.faults.faults.begin() + i);
+      changed |= TryAccept(std::move(candidate));
+    }
+    return changed;
+  }
+
+  bool DropSteps() {
+    bool changed = false;
+    for (std::size_t s = 0; s < current_.specs.size(); ++s) {
+      for (int i =
+               static_cast<int>(current_.specs[s].body.size()) - 1;
+           i >= 0 && !Exhausted(); --i) {
+        if (current_.specs[s].body.size() <= 1) break;
+        Candidate candidate = current_;
+        candidate.specs[s].body.erase(candidate.specs[s].body.begin() +
+                                      i);
+        changed |= TryAccept(std::move(candidate));
+      }
+    }
+    return changed;
+  }
+
+  bool ShrinkDurations() {
+    bool changed = false;
+    for (std::size_t s = 0; s < current_.specs.size(); ++s) {
+      for (std::size_t i = 0;
+           i < current_.specs[s].body.size() && !Exhausted(); ++i) {
+        const Tick duration = current_.specs[s].body[i].duration;
+        if (duration <= 1) continue;
+        Candidate candidate = current_;
+        candidate.specs[s].body[i].duration = 1;
+        if (TryAccept(std::move(candidate))) {
+          changed = true;
+          continue;
+        }
+        if (duration > 2) {
+          candidate = current_;
+          candidate.specs[s].body[i].duration = duration / 2;
+          changed |= TryAccept(std::move(candidate));
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool SimplifySpecs() {
+    bool changed = false;
+    for (std::size_t s = 0; s < current_.specs.size() && !Exhausted();
+         ++s) {
+      if (current_.specs[s].offset > 0) {
+        Candidate candidate = current_;
+        candidate.specs[s].offset = 0;
+        changed |= TryAccept(std::move(candidate));
+      }
+      if (current_.specs[s].relative_deadline > 0) {
+        Candidate candidate = current_;
+        candidate.specs[s].relative_deadline = 0;
+        changed |= TryAccept(std::move(candidate));
+      }
+      const Tick period = current_.specs[s].period;
+      if (period > 0) {
+        // One-shot first (fewer jobs), then a shorter period.
+        Candidate candidate = current_;
+        candidate.specs[s].period = 0;
+        if (TryAccept(std::move(candidate))) {
+          changed = true;
+          continue;
+        }
+        if (period > 1) {
+          candidate = current_;
+          candidate.specs[s].period = period / 2;
+          if (candidate.specs[s].offset >= candidate.specs[s].period) {
+            candidate.specs[s].offset = 0;
+          }
+          changed |= TryAccept(std::move(candidate));
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool SimplifyFaultAttrs() {
+    bool changed = false;
+    for (std::size_t i = 0;
+         i < current_.faults.faults.size() && !Exhausted(); ++i) {
+      const FaultSpec& fault = current_.faults.faults[i];
+      if (fault.extra > 1) {
+        Candidate candidate = current_;
+        candidate.faults.faults[i].extra = 1;
+        changed |= TryAccept(std::move(candidate));
+      }
+      if (fault.count > 1) {
+        Candidate candidate = current_;
+        candidate.faults.faults[i].count = 1;
+        changed |= TryAccept(std::move(candidate));
+      }
+      if (fault.at != kNoTick && fault.at > 0) {
+        Candidate candidate = current_;
+        candidate.faults.faults[i].at = 0;
+        if (TryAccept(std::move(candidate))) {
+          changed = true;
+        } else if (fault.at > 1) {
+          candidate = current_;
+          candidate.faults.faults[i].at = fault.at / 2;
+          changed |= TryAccept(std::move(candidate));
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool ShrinkHorizon() {
+    // An explicit oracle horizon overrides the scenario's, so shrinking
+    // the scenario field would succeed vacuously.
+    if (oracles_.horizon > 0) return false;
+    bool changed = false;
+    while (current_.horizon > 1 && !Exhausted()) {
+      Candidate candidate = current_;
+      candidate.horizon = current_.horizon / 2;
+      if (!TryAccept(std::move(candidate))) break;
+      changed = true;
+    }
+    return changed;
+  }
+
+  const OracleOptions& oracles_;
+  const OracleFailure& failure_;
+  const ShrinkOptions& options_;
+  Candidate current_;
+  int evals_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult Shrink(const Scenario& input, const OracleOptions& oracles,
+                    const OracleFailure& failure,
+                    const ShrinkOptions& options) {
+  return ShrinkRun(oracles, failure, options).Minimize(input);
+}
+
+}  // namespace pcpda

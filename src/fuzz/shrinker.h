@@ -1,0 +1,49 @@
+#ifndef PCPDA_FUZZ_SHRINKER_H_
+#define PCPDA_FUZZ_SHRINKER_H_
+
+#include <string>
+
+#include "fuzz/oracles.h"
+#include "workload/scenario.h"
+
+namespace pcpda {
+
+struct ShrinkOptions {
+  /// Budget of reproduction attempts (each one re-simulates the failing
+  /// protocol over the candidate scenario).
+  int max_evals = 400;
+  /// Passes repeat until a full round removes nothing; this caps the
+  /// rounds as a backstop.
+  int max_rounds = 8;
+};
+
+/// Outcome of minimizing one oracle failure.
+struct ShrinkResult {
+  /// False when the original scenario did not reproduce the failure at
+  /// all (flaky finding — the fuzzer reports it unshrunk).
+  bool reproduced = false;
+  /// The minimal scenario text, already round-tripped through
+  /// FormatScenario -> ParseScenario, so saving it to a .scn file is
+  /// guaranteed to reproduce.
+  std::string scn_text;
+  /// The parsed form of `scn_text`.
+  Scenario scenario;
+  int evals = 0;
+  int rounds = 0;
+};
+
+/// Delta-debugging minimizer. Starting from `input`, greedily applies
+/// shrinking transformations — drop whole transactions, drop fault
+/// events, drop steps, collapse durations to 1, zero offsets/deadlines,
+/// halve periods and the horizon, simplify fault attributes — keeping a
+/// candidate whenever the failure still reproduces (same oracle, same
+/// protocol, re-checked through a FormatScenario/ParseScenario round
+/// trip). Passes loop to a fixpoint within the evaluation budget.
+/// Deterministic: same input and budget yield the same minimal scenario.
+ShrinkResult Shrink(const Scenario& input, const OracleOptions& oracles,
+                    const OracleFailure& failure,
+                    const ShrinkOptions& options = {});
+
+}  // namespace pcpda
+
+#endif  // PCPDA_FUZZ_SHRINKER_H_

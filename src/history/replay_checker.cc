@@ -56,6 +56,19 @@ ReplayResult ReplaySerialWitness(const History& history,
         auto it = own_writes.find(op->item);
         expected = it != own_writes.end() ? it->second : job;
       } else {
+        // A read that observed a writer absent from the committed
+        // history (a job still in flight when the horizon ended — legal
+        // under early lock release, e.g. CCP) cannot be validated
+        // against the committed projection: the serial witness has no
+        // position for that writer. Count it as censored instead of
+        // mismatched; dirty reads from *aborted* jobs never get here,
+        // because strictness/workspace isolation (audited per tick)
+        // keeps uncommitted-then-undone writes invisible.
+        if (op->observed.writer != kInvalidJob &&
+            !by_job.contains(op->observed.writer)) {
+          ++result.censored_reads;
+          continue;
+        }
         expected =
             last_writer[static_cast<std::size_t>(op->item)];
       }

@@ -26,6 +26,11 @@ struct ReplayResult {
   bool serializable = false;
   /// Empty when every read matches the serial replay.
   std::vector<ReplayMismatch> mismatches;
+  /// Reads that observed a value from a job absent from the committed
+  /// history (still in flight when the horizon ended, under early lock
+  /// release). The committed projection cannot validate them; they are
+  /// skipped, not flagged.
+  std::int64_t censored_reads = 0;
 
   bool ok() const { return serializable && mismatches.empty(); }
 };

@@ -32,15 +32,42 @@ StatusOr<TransactionSet> GenerateWorkload(const WorkloadParams& params,
   if (params.num_items < 1) {
     return Status::InvalidArgument("num_items must be >= 1");
   }
-  if (params.min_period < 2 || params.max_period < params.min_period) {
-    return Status::InvalidArgument("bad period range");
+  if (params.min_period < 2) {
+    return Status::InvalidArgument(
+        StrFormat("min_period must be >= 2, got %lld",
+                  static_cast<long long>(params.min_period)));
   }
-  if (params.min_ops < 1 || params.max_ops < params.min_ops) {
-    return Status::InvalidArgument("bad ops range");
+  if (params.max_period < params.min_period) {
+    return Status::InvalidArgument(
+        StrFormat("min_period %lld exceeds max_period %lld",
+                  static_cast<long long>(params.min_period),
+                  static_cast<long long>(params.max_period)));
+  }
+  if (params.min_ops < 1) {
+    return Status::InvalidArgument(
+        StrFormat("min_ops must be >= 1, got %d", params.min_ops));
+  }
+  if (params.max_ops < params.min_ops) {
+    return Status::InvalidArgument(
+        StrFormat("min_ops %d exceeds max_ops %d", params.min_ops,
+                  params.max_ops));
+  }
+  if (params.max_ops > params.num_items) {
+    return Status::InvalidArgument(
+        StrFormat("max_ops %d exceeds num_items %d: transactions draw "
+                  "distinct items",
+                  params.max_ops, params.num_items));
   }
   if (params.total_utilization <= 0.0 ||
       params.total_utilization > 1.0) {
-    return Status::InvalidArgument("utilization must be in (0, 1]");
+    return Status::InvalidArgument(
+        StrFormat("total_utilization must be in (0, 1], got %g",
+                  params.total_utilization));
+  }
+  if (params.write_fraction < 0.0 || params.write_fraction > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("write_fraction must be in [0, 1], got %g",
+                  params.write_fraction));
   }
 
   const std::vector<double> utilizations =
@@ -61,10 +88,8 @@ StatusOr<TransactionSet> GenerateWorkload(const WorkloadParams& params,
                              params.max_period);
     spec.offset = rng.UniformInt(0, spec.period - 1);
 
-    // Distinct items per transaction can never exceed the database size.
-    const int max_ops = std::min(params.max_ops, params.num_items);
-    const int min_ops = std::min(params.min_ops, max_ops);
-    const int ops = static_cast<int>(rng.UniformInt(min_ops, max_ops));
+    const int ops =
+        static_cast<int>(rng.UniformInt(params.min_ops, params.max_ops));
     Tick c = static_cast<Tick>(std::llround(
         utilizations[static_cast<std::size_t>(i)] *
         static_cast<double>(spec.period)));

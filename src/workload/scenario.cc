@@ -1,7 +1,9 @@
 #include "workload/scenario.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -32,6 +34,16 @@ bool ParseTick(const std::string& token, Tick* out) {
   const long long value = std::strtoll(token.c_str(), &end, 10);
   if (end == nullptr || *end != '\0' || token.empty()) return false;
   *out = static_cast<Tick>(value);
+  return true;
+}
+
+bool ParseUint64(const std::string& token, std::uint64_t* out) {
+  if (token.empty() || token[0] == '-' || token[0] == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<std::uint64_t>(value);
   return true;
 }
 
@@ -67,6 +79,7 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
   };
 
   bool in_txn = false;
+  std::set<std::string> txn_names;
   TransactionSpec current;
   bool in_faults = false;
   bool saw_faults = false;
@@ -166,21 +179,31 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
         const std::string key = attr.substr(0, eq);
         const std::string value = attr.substr(eq + 1);
         if (key == "at") {
-          if (!ParseTick(value, &pending.fault.at)) {
-            return ParseError(line_number, "bad value in " + attr);
+          if (!ParseTick(value, &pending.fault.at) ||
+              pending.fault.at < 0) {
+            return ParseError(line_number,
+                              "at must be a tick >= 0 in " + attr);
           }
         } else if (key == "prob") {
-          if (!ParseDouble(value, &pending.fault.probability)) {
-            return ParseError(line_number, "bad value in " + attr);
+          if (!ParseDouble(value, &pending.fault.probability) ||
+              pending.fault.probability < 0.0 ||
+              pending.fault.probability > 1.0) {
+            return ParseError(line_number,
+                              "prob must be in [0, 1] in " + attr);
           }
         } else if (key == "by" || key == "upto") {
-          if (!ParseTick(value, &pending.fault.extra)) {
-            return ParseError(line_number, "bad value in " + attr);
+          if (!ParseTick(value, &pending.fault.extra) ||
+              pending.fault.extra <= 0) {
+            return ParseError(line_number,
+                              key + " must be a positive tick count in " +
+                                  attr);
           }
         } else if (key == "count") {
           Tick count = 0;
-          if (!ParseTick(value, &count)) {
-            return ParseError(line_number, "bad value in " + attr);
+          if (!ParseTick(value, &count) || count <= 0 ||
+              count > (1 << 20)) {
+            return ParseError(line_number,
+                              "count must be in [1, 2^20] in " + attr);
           }
           pending.fault.count = static_cast<int>(count);
         } else {
@@ -233,6 +256,10 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
       }
       current = TransactionSpec{};
       current.name = tokens[1];
+      if (!txn_names.insert(current.name).second) {
+        return ParseError(line_number,
+                          "duplicate txn name '" + current.name + "'");
+      }
       for (std::size_t i = 2; i < tokens.size(); ++i) {
         const std::string& attr = tokens[i];
         const auto eq = attr.find('=');
@@ -244,6 +271,10 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
         Tick value = 0;
         if (!ParseTick(attr.substr(eq + 1), &value)) {
           return ParseError(line_number, "bad value in " + attr);
+        }
+        if (value < 0) {
+          return ParseError(line_number,
+                            key + " must be >= 0 in " + attr);
         }
         if (key == "period") {
           current.period = value;
@@ -269,11 +300,11 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
           return ParseError(line_number,
                             "faults takes only seed=<n>: " + attr);
         }
-        Tick seed = 0;
-        if (!ParseTick(attr.substr(eq + 1), &seed) || seed < 0) {
+        // Seeds use the full uint64 domain (FormatScenario writes %llu),
+        // so Tick (int64) parsing would clamp the upper half.
+        if (!ParseUint64(attr.substr(eq + 1), &fault_seed)) {
           return ParseError(line_number, "bad value in " + attr);
         }
-        fault_seed = static_cast<std::uint64_t>(seed);
       }
       in_faults = true;
       saw_faults = true;
@@ -407,7 +438,10 @@ std::string FormatScenario(const Scenario& scenario) {
       line += StrFormat(" at=%lld", static_cast<long long>(fault.at));
     }
     if (fault.probability > 0.0) {
-      line += StrFormat(" prob=%g", fault.probability);
+      // %.17g round-trips any double exactly: a truncated probability
+      // would shift every later per-tick Bernoulli draw, making the
+      // serialized scenario behave differently from the original.
+      line += StrFormat(" prob=%.17g", fault.probability);
     }
     if (fault.kind == FaultKind::kOverrun) {
       line += StrFormat(" by=%lld", static_cast<long long>(fault.extra));

@@ -1,0 +1,207 @@
+// Tests for the differential scenario fuzzer: oracle stack, shrinker,
+// campaign determinism, the broken-build acceptance check, and replay of
+// the committed crash corpus under the correct protocols.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrinker.h"
+#include "workload/scenario.h"
+
+namespace pcpda {
+namespace {
+
+FuzzOptions SmokeOptions() {
+  FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 200;
+  options.horizon_cap = 160;
+  return options;
+}
+
+// --- Oracle stack ----------------------------------------------------------
+
+TEST(OracleTest, GeneratedScenariosPassOnCorrectBuild) {
+  const ScenarioFuzzer fuzzer(SmokeOptions());
+  for (int i = 0; i < 5; ++i) {
+    const auto scenario = fuzzer.MakeScenario(i);
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    const OracleVerdict verdict = RunOracles(*scenario, OracleOptions{});
+    EXPECT_TRUE(verdict.ok()) << verdict.DebugString();
+  }
+}
+
+TEST(OracleTest, PaperExampleScenarioPasses) {
+  const char* text = R"(
+scenario oracle_smoke
+horizon 40
+txn T1 period=10
+  read a
+  compute 1
+end
+txn T2 period=20
+  write a
+  compute 2
+end
+)";
+  const auto scenario = ParseScenario(text);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  const OracleVerdict verdict = RunOracles(*scenario, OracleOptions{});
+  EXPECT_TRUE(verdict.ok()) << verdict.DebugString();
+}
+
+TEST(OracleTest, RejectsScenarioWithoutUsableHorizon) {
+  // One-shot transactions only and no horizon: nothing to bound the run.
+  const char* text = R"(
+scenario no_horizon
+txn T1 offset=0
+  read a
+end
+)";
+  const auto scenario = ParseScenario(text);
+  ASSERT_TRUE(scenario.ok());
+  const OracleVerdict verdict = RunOracles(*scenario, OracleOptions{});
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.failures.front().oracle, "config");
+}
+
+TEST(OracleTest, ReproducesIsFalseForPassingScenario) {
+  const ScenarioFuzzer fuzzer(SmokeOptions());
+  const auto scenario = fuzzer.MakeScenario(0);
+  ASSERT_TRUE(scenario.ok());
+  const OracleFailure failure{"serializability", "PCP-DA", ""};
+  EXPECT_FALSE(Reproduces(*scenario, OracleOptions{}, failure));
+}
+
+// --- Campaign determinism --------------------------------------------------
+
+TEST(FuzzerTest, SameSeedSameScenarios) {
+  const ScenarioFuzzer a(SmokeOptions());
+  const ScenarioFuzzer b(SmokeOptions());
+  for (int i = 0; i < 10; ++i) {
+    const auto sa = a.MakeScenario(i);
+    const auto sb = b.MakeScenario(i);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    EXPECT_EQ(FormatScenario(*sa), FormatScenario(*sb));
+  }
+}
+
+TEST(FuzzerTest, DifferentSeedsDifferentScenarios) {
+  FuzzOptions other = SmokeOptions();
+  other.seed = 2;
+  const ScenarioFuzzer a(SmokeOptions());
+  const ScenarioFuzzer b(other);
+  ASSERT_TRUE(a.MakeScenario(0).ok());
+  ASSERT_TRUE(b.MakeScenario(0).ok());
+  EXPECT_NE(FormatScenario(*a.MakeScenario(0)),
+            FormatScenario(*b.MakeScenario(0)));
+}
+
+TEST(FuzzerTest, SameSeedSameReport) {
+  FuzzOptions options = SmokeOptions();
+  options.iterations = 30;
+  ScenarioFuzzer a(options);
+  ScenarioFuzzer b(options);
+  EXPECT_EQ(a.Run().Summary(), b.Run().Summary());
+}
+
+// --- Broken-build acceptance ----------------------------------------------
+// Disabling the T* guard yields the paper's Example-5 "condition (2)"
+// protocol, which can deadlock. The oracles must catch it within the
+// smoke budget and the shrinker must produce a parseable minimal .scn
+// that still reproduces — and that passes on the correct build.
+
+TEST(FuzzerTest, BrokenTstarGuardCaughtAndShrunk) {
+  FuzzOptions options = SmokeOptions();
+  options.oracles.pcp_da.enable_tstar_guard = false;
+  ScenarioFuzzer fuzzer(options);
+  const FuzzReport report = fuzzer.Run();
+  ASSERT_FALSE(report.findings.empty())
+      << "oracles missed the intentionally broken PCP-DA build";
+
+  const FuzzFinding& finding = report.findings.front();
+  EXPECT_EQ(finding.failure.protocol, "PCP-DA");
+  EXPECT_TRUE(finding.shrunk) << "finding did not survive shrinking";
+
+  // The minimal repro must parse and still fail under the broken build.
+  const auto minimal = ParseScenario(finding.minimal_text);
+  ASSERT_TRUE(minimal.ok()) << minimal.status().ToString();
+  EXPECT_TRUE(Reproduces(*minimal, options.oracles, finding.failure))
+      << finding.minimal_text;
+
+  // Shrinking only removed things: the minimal scenario is no larger.
+  const auto original = ParseScenario(finding.original_text);
+  ASSERT_TRUE(original.ok());
+  EXPECT_LE(minimal->set.size(), original->set.size());
+  EXPECT_LE(minimal->horizon, original->horizon);
+
+  // The same scenario passes every oracle on the correct build.
+  const OracleVerdict correct = RunOracles(*minimal, OracleOptions{});
+  EXPECT_TRUE(correct.ok()) << correct.DebugString();
+}
+
+// --- Shrinker --------------------------------------------------------------
+
+TEST(ShrinkerTest, UnreproducibleFailureReportedUnshrunk) {
+  const ScenarioFuzzer fuzzer(SmokeOptions());
+  const auto scenario = fuzzer.MakeScenario(0);
+  ASSERT_TRUE(scenario.ok());
+  const OracleFailure phantom{"serializability", "PCP-DA", "phantom"};
+  const ShrinkResult result =
+      Shrink(*scenario, OracleOptions{}, phantom);
+  EXPECT_FALSE(result.reproduced);
+  // The unshrunk text still round-trips.
+  EXPECT_TRUE(ParseScenario(result.scn_text).ok());
+}
+
+TEST(ShrinkerTest, BudgetIsRespected) {
+  FuzzOptions options = SmokeOptions();
+  options.oracles.pcp_da.enable_tstar_guard = false;
+  ScenarioFuzzer fuzzer(options);
+  // Find a failing iteration first.
+  for (int i = 0; i < options.iterations; ++i) {
+    const auto scenario = fuzzer.MakeScenario(i);
+    ASSERT_TRUE(scenario.ok());
+    const OracleVerdict verdict = RunOracles(*scenario, options.oracles);
+    if (verdict.ok()) continue;
+    ShrinkOptions budget;
+    budget.max_evals = 3;
+    const ShrinkResult result = Shrink(
+        *scenario, options.oracles, verdict.failures.front(), budget);
+    EXPECT_LE(result.evals, budget.max_evals);
+    return;
+  }
+  FAIL() << "no failing scenario found for the broken build";
+}
+
+// --- Corpus regression -----------------------------------------------------
+// Every committed crash repro must parse and pass the full oracle stack
+// on the correct build: past findings stay fixed, and the .scn writer's
+// round-trip stays stable.
+
+TEST(CorpusTest, CommittedCrashReprosPassOnCorrectBuild) {
+  const std::filesystem::path corpus(PCPDA_SOURCE_DIR "/fuzz/corpus");
+  ASSERT_TRUE(std::filesystem::exists(corpus)) << corpus;
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (entry.path().extension() != ".scn") continue;
+    const auto scenario = LoadScenarioFile(entry.path().string());
+    ASSERT_TRUE(scenario.ok())
+        << entry.path() << ": " << scenario.status().ToString();
+    const OracleVerdict verdict = RunOracles(*scenario, OracleOptions{});
+    EXPECT_TRUE(verdict.ok())
+        << entry.path() << ":\n"
+        << verdict.DebugString();
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 0) << "corpus directory holds no .scn repros";
+}
+
+}  // namespace
+}  // namespace pcpda

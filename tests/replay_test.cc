@@ -49,6 +49,30 @@ TEST(ReplayCheckerTest, WrongObservedValueFlagged) {
   EXPECT_EQ(result.mismatches[0].replayed.writer, 1);
 }
 
+TEST(ReplayCheckerTest, ReadFromUncommittedWriterCensoredNotFlagged) {
+  // Job 2 observes job 9's write, but job 9 never commits within the
+  // history (still in flight at the horizon, legal under early lock
+  // release). The committed projection can't validate the read: it must
+  // be counted as censored, not reported as a mismatch.
+  History h;
+  Read(h, 2, 0, 2, 2, /*from=*/9);
+  Commit(h, 2, 3, 3);
+  const auto result = ReplaySerialWitness(h, 1);
+  EXPECT_TRUE(result.ok()) << result.mismatches.size();
+  EXPECT_EQ(result.censored_reads, 1);
+}
+
+TEST(ReplayCheckerTest, CensoredCountZeroOnFullyCommittedHistory) {
+  History h;
+  Write(h, 1, 0, 0, 0);
+  Commit(h, 1, 1, 1);
+  Read(h, 2, 0, 2, 2, /*from=*/1);
+  Commit(h, 2, 3, 3);
+  const auto result = ReplaySerialWitness(h, 1);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.censored_reads, 0);
+}
+
 TEST(ReplayCheckerTest, NonSerializableReported) {
   History h;
   Read(h, 1, 0, 0, 0, kInvalidJob);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "test_util.h"
 #include "workload/scenario.h"
 
@@ -144,6 +146,57 @@ TEST(ScenarioTest, RejectsInvalidTransactionSet) {
                    .ok());
 }
 
+TEST(ScenarioTest, DuplicateTxnNameFlaggedAtItsLine) {
+  // The parser itself rejects the clash (not just TransactionSet later)
+  // so the error names the offending line of the second definition.
+  const auto scenario =
+      ParseScenario("txn T period=10\n  compute 1\nend\n"
+                    "txn T period=20\n  compute 1\nend\n");
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("line 4"), std::string::npos);
+  EXPECT_NE(scenario.status().message().find("duplicate txn name 'T'"),
+            std::string::npos);
+}
+
+TEST(ScenarioTest, RejectsDuplicateFaultsBlock) {
+  const auto scenario = ParseScenario(
+      "txn T period=10\n  compute 1\nend\n"
+      "faults\n  abort T at=1\nend\n"
+      "faults\n  abort T at=2\nend\n");
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("line 7"), std::string::npos);
+}
+
+TEST(ScenarioTest, RejectsNegativeTxnAttributes) {
+  for (const char* attr : {"period=-5", "offset=-1", "deadline=-3"}) {
+    const auto scenario = ParseScenario(
+        std::string("txn T ") + attr + "\n  compute 1\nend\n");
+    ASSERT_FALSE(scenario.ok()) << attr;
+    EXPECT_NE(scenario.status().message().find("line 1"),
+              std::string::npos)
+        << scenario.status().ToString();
+  }
+}
+
+TEST(ScenarioTest, RejectsOutOfRangeFaultAttributes) {
+  const char* const kBodies[] = {
+      "  abort T at=-1\n",        // negative tick
+      "  abort T prob=1.5\n",     // probability above 1
+      "  abort T prob=-0.25\n",   // probability below 0
+      "  overrun T at=0 by=0\n",  // non-positive overrun
+      "  abort T at=0 count=0\n"  // non-positive count
+  };
+  for (const char* body : kBodies) {
+    const auto scenario = ParseScenario(
+        std::string("txn T period=10\n  compute 1\nend\nfaults\n") +
+        body + "end\n");
+    ASSERT_FALSE(scenario.ok()) << body;
+    EXPECT_NE(scenario.status().message().find("line 5"),
+              std::string::npos)
+        << scenario.status().ToString();
+  }
+}
+
 // --- Round trip -----------------------------------------------------------
 
 TEST(ScenarioTest, FormatRoundTrips) {
@@ -161,6 +214,36 @@ TEST(ScenarioTest, FormatRoundTrips) {
     EXPECT_EQ(scenario->set.spec(i).period, example.set.spec(i).period);
     EXPECT_EQ(scenario->set.spec(i).offset, example.set.spec(i).offset);
   }
+}
+
+TEST(ScenarioTest, FaultSeedRoundTripsFullUint64) {
+  // Seeds live in the full uint64 domain; int64 parsing used to clamp
+  // the upper half, silently changing every probabilistic fault draw.
+  const auto scenario = ParseScenario(
+      "txn T period=10\n  compute 1\nend\n"
+      "faults seed=18446744073709551615\n  abort T prob=0.5\nend\n");
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  EXPECT_EQ(scenario->faults.seed, 18446744073709551615ULL);
+  const auto reparsed = ParseScenario(FormatScenario(*scenario));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->faults.seed, scenario->faults.seed);
+  EXPECT_FALSE(
+      ParseScenario("txn T period=10\n  compute 1\nend\n"
+                    "faults seed=18446744073709551616\nend\n")
+          .ok());  // one past the domain
+}
+
+TEST(ScenarioTest, FaultProbabilityRoundTripsExactly) {
+  Scenario scenario = ParseScenario(
+                          "txn T period=10\n  compute 1\nend\n"
+                          "faults seed=7\n  abort T prob=0.5\nend\n")
+                          .value();
+  // A full-precision double that %g would truncate.
+  scenario.faults.faults[0].probability = 0.24437737720555081;
+  const auto reparsed = ParseScenario(FormatScenario(scenario));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->faults.faults[0].probability,
+            0.24437737720555081);
 }
 
 TEST(ScenarioTest, LoadScenarioFileMissing) {

@@ -58,6 +58,43 @@ TEST(GeneratorTest, ValidatesParams) {
   EXPECT_FALSE(GenerateWorkload(params, rng).ok());
 }
 
+TEST(GeneratorTest, ValidationErrorsAreDescriptive) {
+  Rng rng(3);
+  WorkloadParams params;
+  // Transactions draw distinct items, so max_ops can't exceed num_items.
+  params.num_items = 3;
+  params.min_ops = 1;
+  params.max_ops = 5;
+  auto result = GenerateWorkload(params, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("max_ops 5 exceeds num_items 3"),
+            std::string::npos)
+      << result.status().ToString();
+
+  params = {};
+  params.min_period = 80;
+  params.max_period = 40;
+  result = GenerateWorkload(params, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("min_period 80"),
+            std::string::npos)
+      << result.status().ToString();
+
+  params = {};
+  params.total_utilization = -0.5;
+  result = GenerateWorkload(params, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("total_utilization"),
+            std::string::npos)
+      << result.status().ToString();
+
+  params = {};
+  params.write_fraction = 1.25;
+  EXPECT_FALSE(GenerateWorkload(params, rng).ok());
+  params.write_fraction = -0.1;
+  EXPECT_FALSE(GenerateWorkload(params, rng).ok());
+}
+
 TEST(GeneratorTest, ProducesRequestedShape) {
   Rng rng(4);
   WorkloadParams params;
