@@ -122,6 +122,10 @@ FuzzReport ScenarioFuzzer::Run() {
       finding.failure = OracleFailure{"generator", "",
                                       scenario.status().ToString()};
       report.findings.push_back(std::move(finding));
+      if (static_cast<int>(report.findings.size()) >=
+          options_.max_findings) {
+        break;
+      }
       continue;
     }
     if (scenario->faults.enabled()) ++report.scenarios_with_faults;

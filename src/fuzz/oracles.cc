@@ -103,8 +103,10 @@ class OracleRunner {
     for (ProtocolKind kind : kinds) {
       const SimResult result = RunOnce(scenario_, kind, horizon, options_);
       CheckOne(kind, horizon, result, fault_free);
-      released_by_protocol[ToString(kind)] =
-          result.metrics.TotalReleased();
+      if (result.status.ok()) {
+        released_by_protocol[ToString(kind)] =
+            result.metrics.TotalReleased();
+      }
       if (options_.check_determinism) {
         const SimResult again =
             RunOnce(scenario_, kind, horizon, options_);
@@ -158,9 +160,10 @@ class OracleRunner {
                      violations.empty()
                          ? "(suppressed)"
                          : violations.front().DebugString().c_str()));
-    } else if (!result.status.ok()) {
+    }
+    if (!result.status.ok()) {
       Fail("config", name, result.status.ToString());
-      return;  // The run never happened; nothing further to check.
+      return;  // The run never completed; nothing further to check.
     }
 
     // (b) committed history serializable, and the serial witness replays.

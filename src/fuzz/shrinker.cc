@@ -217,25 +217,27 @@ class ShrinkRun {
     bool changed = false;
     for (std::size_t i = 0;
          i < current_.faults.faults.size() && !Exhausted(); ++i) {
-      const FaultSpec& fault = current_.faults.faults[i];
-      if (fault.extra > 1) {
+      // Re-read current_ in each branch: an accepted TryAccept replaces
+      // current_, so a reference held across it would dangle.
+      if (current_.faults.faults[i].extra > 1) {
         Candidate candidate = current_;
         candidate.faults.faults[i].extra = 1;
         changed |= TryAccept(std::move(candidate));
       }
-      if (fault.count > 1) {
+      if (current_.faults.faults[i].count > 1) {
         Candidate candidate = current_;
         candidate.faults.faults[i].count = 1;
         changed |= TryAccept(std::move(candidate));
       }
-      if (fault.at != kNoTick && fault.at > 0) {
+      const Tick at = current_.faults.faults[i].at;
+      if (at != kNoTick && at > 0) {
         Candidate candidate = current_;
         candidate.faults.faults[i].at = 0;
         if (TryAccept(std::move(candidate))) {
           changed = true;
-        } else if (fault.at > 1) {
+        } else if (at > 1) {
           candidate = current_;
-          candidate.faults.faults[i].at = fault.at / 2;
+          candidate.faults.faults[i].at = at / 2;
           changed |= TryAccept(std::move(candidate));
         }
       }

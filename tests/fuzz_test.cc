@@ -180,6 +180,45 @@ TEST(ShrinkerTest, BudgetIsRespected) {
   FAIL() << "no failing scenario found for the broken build";
 }
 
+// Regression for a use-after-free in SimplifyFaultAttrs: shrinking a
+// finding whose fault plan is load-bearing accepts the extra->1 shrink
+// (a burst fault's extra is not serialized, so the candidate reproduces
+// trivially), which replaces the current scenario while the old code
+// still held a reference into its faults vector. Campaign seed 4,
+// iteration 53 deterministically produces such a finding under the
+// fully-broken PCP-DA build; run under ASan this pins the fix.
+TEST(ShrinkerTest, FaultAttrShrinkOnLoadBearingFault) {
+  FuzzOptions options;
+  options.seed = 4;
+  options.oracles.pcp_da.enable_tstar_guard = false;
+  options.oracles.pcp_da.enable_wr_guard = false;
+  const ScenarioFuzzer fuzzer(options);
+  const auto scenario = fuzzer.MakeScenario(53);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  const FaultSpec* burst = nullptr;
+  for (const FaultSpec& fault : scenario->faults.faults) {
+    if (fault.kind == FaultKind::kBurstArrival) burst = &fault;
+  }
+  ASSERT_NE(burst, nullptr);
+  // Both attr-shrink branches must have something to do: extra->1 is
+  // accepted (not serialized for bursts), count->1 is attempted.
+  ASSERT_GT(burst->extra, 1);
+  ASSERT_GT(burst->count, 1);
+
+  const OracleVerdict verdict = RunOracles(*scenario, options.oracles);
+  ASSERT_FALSE(verdict.ok()) << "broken build no longer fails seed 4/53";
+  const ShrinkResult result =
+      Shrink(*scenario, options.oracles, verdict.failures.front());
+  ASSERT_TRUE(result.reproduced);
+  // The fault plan is load-bearing: it must survive minimization.
+  EXPECT_NE(result.scn_text.find("faults"), std::string::npos)
+      << result.scn_text;
+  const auto minimal = ParseScenario(result.scn_text);
+  ASSERT_TRUE(minimal.ok()) << minimal.status().ToString();
+  EXPECT_TRUE(
+      Reproduces(*minimal, options.oracles, verdict.failures.front()));
+}
+
 // --- Corpus regression -----------------------------------------------------
 // Every committed crash repro must parse and pass the full oracle stack
 // on the correct build: past findings stay fixed, and the .scn writer's
