@@ -9,6 +9,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "core/pcp_da.h"
 #include "core/serialization_order.h"
 #include "history/serialization_graph.h"
@@ -27,8 +28,10 @@ struct AblationStats {
   long long restarts = 0;
 };
 
-AblationStats Measure(const PcpDaOptions& options) {
-  AblationStats stats;
+/// The ablation's high-contention trial workloads (shared by every guard
+/// configuration; seeds depend only on the trial index).
+std::vector<Scenario> AblationScenarios() {
+  std::vector<Scenario> scenarios;
   for (int trial = 0; trial < kRuns; ++trial) {
     Rng rng(static_cast<std::uint64_t>(trial) * 2654435761ULL + 99);
     WorkloadParams params;
@@ -38,12 +41,25 @@ AblationStats Measure(const PcpDaOptions& options) {
     params.write_fraction = 0.45;
     auto set = GenerateWorkload(params, rng);
     if (!set.ok()) continue;
-    PcpDa protocol(options);
-    SimulatorOptions sim_options;
-    sim_options.horizon = kHorizon;
-    sim_options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
-    Simulator sim(&*set, &protocol, sim_options);
-    const SimResult result = sim.Run();
+    scenarios.push_back(Scenario{StrFormat("ablation_t%d", trial),
+                                 std::move(set).value(), kHorizon,
+                                 {},
+                                 {}});
+  }
+  return scenarios;
+}
+
+AblationStats Measure(BatchRunner& runner, const PcpDaOptions& options) {
+  const std::vector<Scenario> scenarios = AblationScenarios();
+  SimulatorOptions sim_options;
+  sim_options.horizon = kHorizon;
+  sim_options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+  // One batch per guard configuration: 60 PCP-DA runs fan out; the
+  // serializability and commit-order checks walk results in trial order.
+  const std::vector<SimResult> results = RunGrid(
+      runner, scenarios, {ProtocolKind::kPcpDa}, sim_options, options);
+  AblationStats stats;
+  for (const SimResult& result : results) {
     if (result.deadlock_detected) ++stats.deadlock_runs;
     if (!IsSerializable(result.history)) ++stats.non_serializable_runs;
     if (!FindCommitOrderViolations(result.history).empty()) {
@@ -55,9 +71,11 @@ AblationStats Measure(const PcpDaOptions& options) {
 }
 
 void PrintAblation() {
-  PrintHeader(
+  BatchRunner runner(BatchOptions{BenchJobs()});
+  PrintHeader(StrFormat(
       "PCP-DA guard ablation (60 high-contention random sets per row; "
-      "deadlocks resolved by aborting)");
+      "deadlocks resolved by aborting; jobs=%d)",
+      runner.jobs()));
   std::printf("%-26s %-10s %-10s %-12s %-9s\n", "configuration",
               "deadlocks", "nonserial", "commitviol", "restarts");
   struct Row {
@@ -72,7 +90,7 @@ void PrintAblation() {
        {.enable_tstar_guard = false, .enable_wr_guard = false}},
   };
   for (const Row& row : rows) {
-    const AblationStats stats = Measure(row.options);
+    const AblationStats stats = Measure(runner, row.options);
     std::printf("%-26s %-10d %-10d %-12d %-9lld\n", row.name,
                 stats.deadlock_runs, stats.non_serializable_runs,
                 stats.commit_order_violation_runs, stats.restarts);
@@ -90,8 +108,9 @@ void PrintAblation() {
 void BM_AblationPoint(benchmark::State& state) {
   PcpDaOptions options;
   options.enable_tstar_guard = state.range(0) != 0;
+  BatchRunner runner(BatchOptions{BenchJobs()});
   for (auto _ : state) {
-    const AblationStats stats = Measure(options);
+    const AblationStats stats = Measure(runner, options);
     benchmark::DoNotOptimize(stats.deadlock_runs);
   }
 }

@@ -11,6 +11,7 @@
 #include "analysis/rm_bound.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "workload/generator.h"
 
 namespace pcpda {
@@ -23,10 +24,18 @@ struct Point {
   int rta_pass = 0;
 };
 
+/// One trial's pass/fail verdicts, one slot per analyzable protocol.
+struct TrialVerdicts {
+  std::vector<bool> ll;
+  std::vector<bool> rta;
+};
+
 void PrintSweep() {
-  PrintHeader(
+  ExecutorPool pool(BenchJobs());
+  PrintHeader(StrFormat(
       "Schedulable fraction vs utilization (200 random sets per point, "
-      "8 txns, 12 items, write fraction 0.3)");
+      "8 txns, 12 items, write fraction 0.3; jobs=%d)",
+      pool.threads()));
   const auto kinds = AnalyzableProtocolKinds();
   std::printf("%-6s", "U");
   for (ProtocolKind kind : kinds) {
@@ -38,19 +47,33 @@ void PrintSweep() {
   std::printf("\n");
 
   for (double u : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
-    std::vector<Point> points(kinds.size());
-    for (int trial = 0; trial < kSetsPerPoint; ++trial) {
+    // The design-point grid: every trial is an independent task (its Rng
+    // is seeded from the trial index alone), fanned out over the pool;
+    // the reduction below walks trials in index order, so counts are
+    // identical to the serial loop.
+    std::vector<TrialVerdicts> verdicts(kSetsPerPoint);
+    pool.ParallelFor(kSetsPerPoint, [&](std::size_t trial) {
       Rng rng(static_cast<std::uint64_t>(trial) * 7919 + 13);
       WorkloadParams params;
       params.total_utilization = u;
       auto set = GenerateWorkload(params, rng);
-      if (!set.ok()) continue;
+      if (!set.ok()) return;
+      TrialVerdicts& out = verdicts[trial];
+      out.ll.resize(kinds.size());
+      out.rta.resize(kinds.size());
       for (std::size_t k = 0; k < kinds.size(); ++k) {
         const BlockingAnalysis analysis = ComputeBlocking(*set, kinds[k]);
         const auto ll = LiuLaylandTest(*set, analysis.AllB());
-        if (ll.ok() && ll->schedulable) ++points[k].ll_pass;
+        out.ll[k] = ll.ok() && ll->schedulable;
         const auto rta = ResponseTimeAnalysis(*set, analysis.AllB());
-        if (rta.ok() && rta->schedulable) ++points[k].rta_pass;
+        out.rta[k] = rta.ok() && rta->schedulable;
+      }
+    });
+    std::vector<Point> points(kinds.size());
+    for (const TrialVerdicts& trial : verdicts) {
+      for (std::size_t k = 0; k < trial.ll.size(); ++k) {
+        if (trial.ll[k]) ++points[k].ll_pass;
+        if (trial.rta[k]) ++points[k].rta_pass;
       }
     }
     std::printf("%-6.2f", u);

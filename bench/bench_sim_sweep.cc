@@ -8,6 +8,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "workload/generator.h"
 
 namespace pcpda {
@@ -25,10 +26,12 @@ struct Aggregate {
   double deadlocks = 0;
 };
 
-Aggregate RunPoint(ProtocolKind kind, double utilization,
-                   double write_fraction) {
-  Aggregate aggregate;
-  int runs = 0;
+/// The trial workloads of one (utilization, write-fraction) design point.
+/// Seeds depend only on the trial index, so the grid is reproducible and
+/// every protocol sees identical sets.
+std::vector<Scenario> PointScenarios(double utilization,
+                                     double write_fraction) {
+  std::vector<Scenario> scenarios;
   for (int trial = 0; trial < kSetsPerPoint; ++trial) {
     Rng rng(static_cast<std::uint64_t>(trial) * 104729 + 7);
     WorkloadParams params;
@@ -36,48 +39,75 @@ Aggregate RunPoint(ProtocolKind kind, double utilization,
     params.write_fraction = write_fraction;
     auto set = GenerateWorkload(params, rng);
     if (!set.ok()) continue;
-    auto protocol = MakeProtocol(kind);
-    SimulatorOptions options;
-    options.horizon = kHorizon;
-    options.record_trace = false;
-    options.record_history = false;
-    options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
-    Simulator sim(&*set, protocol.get(), options);
-    const SimResult result = sim.Run();
-    aggregate.miss_ratio += result.metrics.MissRatio();
-    for (const auto& m : result.metrics.per_spec) {
-      aggregate.blocking_ticks +=
-          static_cast<double>(m.effective_blocking_ticks);
-      aggregate.ceiling_blocks += static_cast<double>(m.ceiling_blocks);
-      aggregate.conflict_blocks += static_cast<double>(m.conflict_blocks);
-      aggregate.restarts += static_cast<double>(m.restarts);
+    scenarios.push_back(Scenario{StrFormat("sweep_t%d", trial),
+                                 std::move(set).value(), kHorizon,
+                                 {},
+                                 {}});
+  }
+  return scenarios;
+}
+
+/// All protocols of one design point as a single batch; aggregates are
+/// reduced in trial order, so they match the old serial loop exactly.
+std::vector<Aggregate> RunPointGrid(BatchRunner& runner, double utilization,
+                                    double write_fraction) {
+  const std::vector<Scenario> scenarios =
+      PointScenarios(utilization, write_fraction);
+  const std::vector<ProtocolKind> kinds = AllProtocolKinds();
+  SimulatorOptions options;
+  options.horizon = kHorizon;
+  options.record_trace = false;
+  options.record_history = false;
+  options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+  const std::vector<SimResult> results =
+      RunGrid(runner, scenarios, kinds, options);
+
+  std::vector<Aggregate> aggregates(kinds.size());
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    Aggregate& aggregate = aggregates[k];
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      const SimResult& result = results[k * scenarios.size() + s];
+      aggregate.miss_ratio += result.metrics.MissRatio();
+      for (const auto& m : result.metrics.per_spec) {
+        aggregate.blocking_ticks +=
+            static_cast<double>(m.effective_blocking_ticks);
+        aggregate.ceiling_blocks += static_cast<double>(m.ceiling_blocks);
+        aggregate.conflict_blocks +=
+            static_cast<double>(m.conflict_blocks);
+        aggregate.restarts += static_cast<double>(m.restarts);
+      }
+      aggregate.deadlocks +=
+          static_cast<double>(result.metrics.deadlocks);
     }
-    aggregate.deadlocks += static_cast<double>(result.metrics.deadlocks);
-    ++runs;
+    const int runs = static_cast<int>(scenarios.size());
+    if (runs > 0) {
+      aggregate.miss_ratio /= runs;
+      aggregate.blocking_ticks /= runs;
+      aggregate.ceiling_blocks /= runs;
+      aggregate.conflict_blocks /= runs;
+      aggregate.restarts /= runs;
+      aggregate.deadlocks /= runs;
+    }
   }
-  if (runs > 0) {
-    aggregate.miss_ratio /= runs;
-    aggregate.blocking_ticks /= runs;
-    aggregate.ceiling_blocks /= runs;
-    aggregate.conflict_blocks /= runs;
-    aggregate.restarts /= runs;
-    aggregate.deadlocks /= runs;
-  }
-  return aggregate;
+  return aggregates;
 }
 
 void PrintSweep() {
-  PrintHeader(
+  BatchRunner runner(BatchOptions{BenchJobs()});
+  PrintHeader(StrFormat(
       "Simulated sweep: 30 random sets per point, horizon 3000 ticks, "
-      "write fraction 0.3 (deadlocks resolved by aborting)");
+      "write fraction 0.3 (deadlocks resolved by aborting; jobs=%d)",
+      runner.jobs()));
   std::printf("%-8s %-8s %-8s %-10s %-9s %-9s %-9s %-9s\n", "proto", "U",
               "miss", "blockticks", "ceilblk", "confblk", "restarts",
               "deadlock");
   for (double u : {0.4, 0.6, 0.8}) {
-    for (ProtocolKind kind : AllProtocolKinds()) {
-      const Aggregate a = RunPoint(kind, u, 0.3);
+    const std::vector<Aggregate> aggregates = RunPointGrid(runner, u, 0.3);
+    const std::vector<ProtocolKind> kinds = AllProtocolKinds();
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const Aggregate& a = aggregates[k];
       std::printf("%-8s %-8.2f %-8.4f %-10.1f %-9.1f %-9.1f %-9.1f %-9.2f\n",
-                  ToString(kind), u, a.miss_ratio, a.blocking_ticks,
+                  ToString(kinds[k]), u, a.miss_ratio, a.blocking_ticks,
                   a.ceiling_blocks, a.conflict_blocks, a.restarts,
                   a.deadlocks);
     }
@@ -88,10 +118,13 @@ void PrintSweep() {
               "miss", "blockticks", "ceilblk", "confblk", "restarts",
               "deadlock");
   for (double wf : {0.1, 0.3, 0.6}) {
-    for (ProtocolKind kind : AllProtocolKinds()) {
-      const Aggregate a = RunPoint(kind, 0.7, wf);
+    const std::vector<Aggregate> aggregates =
+        RunPointGrid(runner, 0.7, wf);
+    const std::vector<ProtocolKind> kinds = AllProtocolKinds();
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const Aggregate& a = aggregates[k];
       std::printf("%-8s %-8.2f %-8.4f %-10.1f %-9.1f %-9.1f %-9.1f %-9.2f\n",
-                  ToString(kind), wf, a.miss_ratio, a.blocking_ticks,
+                  ToString(kinds[k]), wf, a.miss_ratio, a.blocking_ticks,
                   a.ceiling_blocks, a.conflict_blocks, a.restarts,
                   a.deadlocks);
     }

@@ -2,13 +2,17 @@
 #define PCPDA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "protocols/factory.h"
+#include "runner/batch_runner.h"
 #include "sched/simulator.h"
 #include "trace/gantt.h"
 #include "txn/spec.h"
 #include "workload/paper_examples.h"
+#include "workload/scenario.h"
 
 namespace pcpda {
 
@@ -26,6 +30,40 @@ inline SimResult BenchRun(const TransactionSet& set, ProtocolKind kind,
   options.record_history = record;
   Simulator sim(&set, protocol.get(), options);
   return sim.Run();
+}
+
+/// Executor count for the sweep benches: PCPDA_JOBS overrides, else
+/// hardware concurrency. Sweep outputs are independent of this value (the
+/// batch runner returns results in submission order).
+inline int BenchJobs() {
+  if (const char* env = std::getenv("PCPDA_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs >= 1) return jobs;
+  }
+  return ExecutorPool::DefaultThreads();
+}
+
+/// Shared batch helper for design-point grids: one RunSpec per
+/// (protocol, scenario) pair, protocol-major, executed on `runner`.
+/// Result index = kind_index * scenarios.size() + scenario_index.
+inline std::vector<SimResult> RunGrid(BatchRunner& runner,
+                                      const std::vector<Scenario>& scenarios,
+                                      const std::vector<ProtocolKind>& kinds,
+                                      const SimulatorOptions& base_options,
+                                      const PcpDaOptions& pcp_da = {}) {
+  std::vector<RunSpec> specs;
+  specs.reserve(kinds.size() * scenarios.size());
+  for (const ProtocolKind kind : kinds) {
+    for (const Scenario& scenario : scenarios) {
+      RunSpec spec;
+      spec.scenario = &scenario;
+      spec.protocol = kind;
+      spec.options = base_options;
+      spec.pcp_da = pcp_da;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return runner.Run(specs);
 }
 
 inline void PrintHeader(const std::string& title) {

@@ -27,6 +27,9 @@ void Usage(const char* argv0) {
       "usage: %s [flags]\n"
       "  --seed=N          campaign seed (default 1)\n"
       "  --iters=K         scenarios to generate (default 100)\n"
+      "  --jobs=N          concurrent executors for each iteration's\n"
+      "                    protocol fan-out (default 1; findings are\n"
+      "                    identical for every N)\n"
       "  --horizon-cap=H   max per-scenario horizon (default 240)\n"
       "  --fault-prob=P    fraction of scenarios with fault plans "
       "(default 0.5)\n"
@@ -57,6 +60,8 @@ int main(int argc, char** argv) {
       options.seed = std::strtoull(value, nullptr, 10);
     } else if (ParseFlag(argv[i], "--iters", &value)) {
       options.iterations = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--jobs", &value)) {
+      options.jobs = std::atoi(value);
     } else if (ParseFlag(argv[i], "--horizon-cap", &value)) {
       options.horizon_cap = std::strtoll(value, nullptr, 10);
     } else if (ParseFlag(argv[i], "--fault-prob", &value)) {
@@ -84,8 +89,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (options.iterations < 1 || options.horizon_cap < 1 ||
-      options.max_findings < 1) {
+  if (options.iterations < 1 || options.jobs < 1 ||
+      options.horizon_cap < 1 || options.max_findings < 1) {
     Usage(argv[0]);
     return 2;
   }

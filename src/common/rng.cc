@@ -20,6 +20,13 @@ std::uint64_t Rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t SplitMixSeed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = SplitMix64(s);

@@ -8,6 +8,14 @@
 
 namespace pcpda {
 
+/// Derives independent stream `index` from `base`: a SplitMix64-style mix
+/// of base + GOLDEN * (index + 1), so stream 0 is already distinct from
+/// Rng(base)'s own expansion. This is the one seeding scheme shared by
+/// the fuzzer (per-iteration scenario streams) and the batch runner
+/// (per-job fault streams): a job's seed depends only on (base, index),
+/// never on which worker thread executes it or in what order.
+std::uint64_t SplitMixSeed(std::uint64_t base, std::uint64_t index);
+
 /// Deterministic pseudo-random generator (xoshiro256**). Workload
 /// generation and property tests depend on run-to-run reproducibility, so
 /// the project does not use std::random_device or unseeded engines.

@@ -6,20 +6,16 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "runner/batch_runner.h"
 #include "workload/generator.h"
 
 namespace pcpda {
 namespace {
 
-/// SplitMix64-style mix of the campaign seed and iteration, so each
-/// scenario gets an independent, reproducible stream.
+/// Each iteration's scenario gets an independent, reproducible stream
+/// derived from the campaign seed alone.
 std::uint64_t MixSeed(std::uint64_t seed, int iteration) {
-  std::uint64_t z =
-      seed + 0x9e3779b97f4a7c15ULL *
-                 (static_cast<std::uint64_t>(iteration) + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return SplitMixSeed(seed, static_cast<std::uint64_t>(iteration));
 }
 
 FaultKind DrawFaultKind(Rng& rng) {
@@ -110,6 +106,10 @@ StatusOr<Scenario> ScenarioFuzzer::MakeScenario(int iteration) const {
 
 FuzzReport ScenarioFuzzer::Run() {
   FuzzReport report;
+  // One pool for the whole campaign: every iteration's protocol fan-out
+  // (8 protocols x 2 runs under the determinism oracle) is one batch.
+  // Shrinking stays serial — it is a sequential search by nature.
+  BatchRunner runner(BatchOptions{options_.jobs});
   for (int iteration = 0; iteration < options_.iterations; ++iteration) {
     report.iterations = iteration + 1;
     auto scenario = MakeScenario(iteration);
@@ -130,7 +130,11 @@ FuzzReport ScenarioFuzzer::Run() {
     }
     if (scenario->faults.enabled()) ++report.scenarios_with_faults;
 
-    const OracleVerdict verdict = RunOracles(*scenario, options_.oracles);
+    const std::vector<RunSpec> plan =
+        PlanOracleRuns(*scenario, options_.oracles);
+    const std::vector<SimResult> results = runner.Run(plan);
+    const OracleVerdict verdict =
+        EvaluateOracleRuns(*scenario, options_.oracles, results);
     if (verdict.ok()) continue;
 
     FuzzFinding finding;

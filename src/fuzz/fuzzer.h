@@ -18,6 +18,10 @@ namespace pcpda {
 struct FuzzOptions {
   std::uint64_t seed = 1;
   int iterations = 100;
+  /// Concurrent executors for each iteration's protocol fan-out (the
+  /// CheckOne batch). Findings are byte-identical for every value; see
+  /// DESIGN.md §10.
+  int jobs = 1;
   /// Upper bound on per-scenario simulation horizons (the drawn horizon
   /// is uniform in [horizon_cap/2, horizon_cap]).
   Tick horizon_cap = 240;

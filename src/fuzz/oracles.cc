@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/blocking.h"
+#include "common/check.h"
 #include "common/strings.h"
 #include "history/replay_checker.h"
 #include "history/serialization_graph.h"
@@ -28,16 +29,8 @@ std::unique_ptr<Protocol> MakeOracleProtocol(ProtocolKind kind,
   return MakeProtocol(kind);
 }
 
-SimResult RunOnce(const Scenario& scenario, ProtocolKind kind,
-                  Tick horizon, const OracleOptions& options) {
-  auto protocol = MakeOracleProtocol(kind, options);
-  SimulatorOptions sim_options;
-  sim_options.horizon = horizon;
-  sim_options.faults = scenario.faults;
-  sim_options.audit = true;
-  sim_options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
-  Simulator simulator(&scenario.set, protocol.get(), sim_options);
-  return simulator.Run();
+std::vector<ProtocolKind> ResolveKinds(const OracleOptions& options) {
+  return options.protocols.empty() ? AllProtocolKinds() : options.protocols;
 }
 
 std::string RenderTick(const TickRecord& record) {
@@ -87,7 +80,7 @@ class OracleRunner {
   OracleRunner(const Scenario& scenario, const OracleOptions& options)
       : scenario_(scenario), options_(options) {}
 
-  OracleVerdict Run() {
+  OracleVerdict Evaluate(const std::vector<SimResult>& results) {
     const Tick horizon = ResolveHorizon(scenario_, options_);
     if (horizon <= 0) {
       Fail("config", "",
@@ -95,21 +88,23 @@ class OracleRunner {
            "hyperperiod");
       return std::move(verdict_);
     }
-    std::vector<ProtocolKind> kinds = options_.protocols;
-    if (kinds.empty()) kinds = AllProtocolKinds();
+    const std::vector<ProtocolKind> kinds = ResolveKinds(options_);
+    const std::size_t repeats = options_.check_determinism ? 2 : 1;
+    PCPDA_CHECK_MSG(results.size() == kinds.size() * repeats,
+                    "results are not in PlanOracleRuns order");
 
     const bool fault_free = scenario_.faults.faults.empty();
     std::map<std::string, std::int64_t> released_by_protocol;
-    for (ProtocolKind kind : kinds) {
-      const SimResult result = RunOnce(scenario_, kind, horizon, options_);
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const ProtocolKind kind = kinds[k];
+      const SimResult& result = results[k * repeats];
       CheckOne(kind, horizon, result, fault_free);
       if (result.status.ok()) {
         released_by_protocol[ToString(kind)] =
             result.metrics.TotalReleased();
       }
       if (options_.check_determinism) {
-        const SimResult again =
-            RunOnce(scenario_, kind, horizon, options_);
+        const SimResult& again = results[k * repeats + 1];
         const std::string first = RenderDigest(scenario_, result);
         const std::string second = RenderDigest(scenario_, again);
         if (first != second) {
@@ -296,7 +291,41 @@ std::string OracleVerdict::DebugString() const {
 
 OracleVerdict RunOracles(const Scenario& scenario,
                          const OracleOptions& options) {
-  return OracleRunner(scenario, options).Run();
+  const std::vector<RunSpec> plan = PlanOracleRuns(scenario, options);
+  std::vector<SimResult> results;
+  results.reserve(plan.size());
+  for (const RunSpec& spec : plan) {
+    results.push_back(BatchRunner::RunOne(spec));
+  }
+  return EvaluateOracleRuns(scenario, options, results);
+}
+
+std::vector<RunSpec> PlanOracleRuns(const Scenario& scenario,
+                                    const OracleOptions& options) {
+  const Tick horizon = ResolveHorizon(scenario, options);
+  if (horizon <= 0) return {};
+  const int repeats = options.check_determinism ? 2 : 1;
+  std::vector<RunSpec> specs;
+  for (ProtocolKind kind : ResolveKinds(options)) {
+    for (int repeat = 0; repeat < repeats; ++repeat) {
+      RunSpec spec;
+      spec.scenario = &scenario;
+      spec.protocol = kind;
+      spec.pcp_da = options.pcp_da;
+      spec.options.horizon = horizon;
+      spec.options.faults = scenario.faults;
+      spec.options.audit = true;
+      spec.options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+OracleVerdict EvaluateOracleRuns(const Scenario& scenario,
+                                 const OracleOptions& options,
+                                 const std::vector<SimResult>& results) {
+  return OracleRunner(scenario, options).Evaluate(results);
 }
 
 bool Reproduces(const Scenario& scenario, const OracleOptions& options,

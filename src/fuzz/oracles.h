@@ -6,6 +6,7 @@
 
 #include "core/pcp_da.h"
 #include "protocols/factory.h"
+#include "runner/batch_runner.h"
 #include "workload/scenario.h"
 
 namespace pcpda {
@@ -74,6 +75,22 @@ struct OracleVerdict {
 /// every protocol the scenario broke.
 OracleVerdict RunOracles(const Scenario& scenario,
                          const OracleOptions& options);
+
+/// The simulation jobs RunOracles would execute for `scenario`: per
+/// configured protocol one run, plus an adjacent re-run when
+/// check_determinism is set. Empty when the scenario has no usable
+/// horizon (EvaluateOracleRuns then reports the config failure). The
+/// returned specs point into `scenario`, which must outlive them.
+std::vector<RunSpec> PlanOracleRuns(const Scenario& scenario,
+                                    const OracleOptions& options);
+
+/// Applies the oracle stack to precomputed results, which must be in
+/// PlanOracleRuns order (the caller typically produced them through a
+/// BatchRunner). Verdicts are byte-identical to RunOracles regardless of
+/// how many jobs computed the results.
+OracleVerdict EvaluateOracleRuns(const Scenario& scenario,
+                                 const OracleOptions& options,
+                                 const std::vector<SimResult>& results);
 
 /// True when re-checking `scenario` still produces a failure of the same
 /// oracle (and, for protocol-specific oracles, the same protocol) as

@@ -1,0 +1,56 @@
+#include "runner/batch_runner.h"
+
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace pcpda {
+
+BatchRunner::BatchRunner(BatchOptions options) : pool_(options.jobs) {}
+
+SimResult BatchRunner::RunOne(const RunSpec& spec) {
+  SimResult result;
+  if (spec.scenario == nullptr) {
+    result.status = Status::InvalidArgument("RunSpec.scenario is null");
+    return result;
+  }
+  SimulatorOptions options = spec.options;
+  if (options.horizon <= 0) options.horizon = spec.scenario->horizon;
+  if (!options.faults.enabled()) options.faults = spec.scenario->faults;
+  if (spec.seed != 0) options.faults.seed = spec.seed;
+  std::unique_ptr<Protocol> protocol =
+      spec.protocol == ProtocolKind::kPcpDa
+          ? std::make_unique<PcpDa>(spec.pcp_da)
+          : MakeProtocol(spec.protocol);
+  Simulator simulator(&spec.scenario->set, protocol.get(), options);
+  return simulator.Run();
+}
+
+std::vector<SimResult> BatchRunner::Run(const std::vector<RunSpec>& specs) {
+  std::vector<SimResult> results(specs.size());
+  pool_.ParallelFor(specs.size(), [&](std::size_t i) {
+    results[i] = RunOne(specs[i]);
+  });
+  return results;
+}
+
+std::vector<SimResult> BatchRunner::RunTasks(
+    const std::vector<std::function<SimResult()>>& tasks) {
+  std::vector<SimResult> results(tasks.size());
+  pool_.ParallelFor(tasks.size(), [&](std::size_t i) {
+    try {
+      results[i] = tasks[i]();
+    } catch (const std::exception& e) {
+      results[i] = SimResult{};
+      results[i].status =
+          Status::Internal(std::string("batch task threw: ") + e.what());
+    } catch (...) {
+      results[i] = SimResult{};
+      results[i].status =
+          Status::Internal("batch task threw a non-std exception");
+    }
+  });
+  return results;
+}
+
+}  // namespace pcpda

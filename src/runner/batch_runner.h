@@ -1,0 +1,75 @@
+#ifndef PCPDA_RUNNER_BATCH_RUNNER_H_
+#define PCPDA_RUNNER_BATCH_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/pcp_da.h"
+#include "protocols/factory.h"
+#include "runner/executor_pool.h"
+#include "sched/simulator.h"
+#include "workload/scenario.h"
+
+namespace pcpda {
+
+/// One simulation job of a batch: scenario x protocol x seed x options.
+struct RunSpec {
+  /// The scenario to simulate. Must outlive the batch. A null scenario
+  /// makes that job fail with InvalidArgument without touching the rest
+  /// of the batch.
+  const Scenario* scenario = nullptr;
+  ProtocolKind protocol = ProtocolKind::kPcpDa;
+  /// Fault-plan seed override: nonzero replaces the scenario's own fault
+  /// seed, so job grids can draw independent streams via
+  /// SplitMixSeed(base_seed, job_index). 0 keeps the scenario's seed.
+  std::uint64_t seed = 0;
+  /// options.horizon == 0 falls back to scenario->horizon, and an empty
+  /// options.faults falls back to scenario->faults.
+  SimulatorOptions options;
+  /// Options for PCP-DA instances (the guard-ablation hook); ignored for
+  /// every other protocol kind.
+  PcpDaOptions pcp_da;
+};
+
+struct BatchOptions {
+  /// Concurrent executors, calling thread included; < 1 clamps to 1.
+  /// Results never depend on this value.
+  int jobs = 1;
+};
+
+/// Executes batches of independent simulations on an ExecutorPool and
+/// collects results in submission order — bit-identical to the serial
+/// loop by construction: every job's inputs (scenario, protocol, fault
+/// seed, options) are fixed before the batch starts, a job touches no
+/// state shared with any other job, and slot i of the result vector
+/// belongs to job i alone. See DESIGN.md §10 for why determinism
+/// survives work stealing.
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  int jobs() const { return pool_.threads(); }
+
+  /// Runs one spec serially — the unit the batch fans out.
+  static SimResult RunOne(const RunSpec& spec);
+
+  /// Runs all specs, returning results in spec order.
+  std::vector<SimResult> Run(const std::vector<RunSpec>& specs);
+
+  /// Generic escape hatch for jobs that are not plain spec runs: executes
+  /// the tasks on the pool; a task that throws yields a SimResult whose
+  /// status is Internal, and the rest of the batch is unaffected.
+  std::vector<SimResult> RunTasks(
+      const std::vector<std::function<SimResult()>>& tasks);
+
+  /// The underlying pool, for analysis-only fan-outs.
+  ExecutorPool& pool() { return pool_; }
+
+ private:
+  ExecutorPool pool_;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_RUNNER_BATCH_RUNNER_H_

@@ -1,0 +1,159 @@
+#include "runner/executor_pool.h"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <memory>
+
+namespace pcpda {
+
+struct ExecutorPool::Batch {
+  const std::function<void(std::size_t)>* body = nullptr;
+  /// One deque per executor; the owner pops its back, thieves pop other
+  /// fronts. Each deque is guarded by the mutex of the same index. Tasks
+  /// never enqueue new work, so once every deque is empty the batch holds
+  /// only in-flight tasks.
+  std::vector<std::deque<std::size_t>> queues;
+  std::vector<std::unique_ptr<std::mutex>> queue_mu;
+  /// Guarded by the pool mutex.
+  std::size_t remaining = 0;  // tasks not yet finished
+  int active_workers = 0;     // background workers inside WorkOn
+  std::exception_ptr error;
+  std::size_t error_index = 0;
+};
+
+ExecutorPool::ExecutorPool(int threads)
+    : num_threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ExecutorPool::~ExecutorPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ExecutorPool::DefaultThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+void ExecutorPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Batch batch;
+  batch.body = &body;
+  const auto executors = static_cast<std::size_t>(num_threads_);
+  batch.queues.resize(executors);
+  batch.queue_mu.reserve(executors);
+  for (std::size_t i = 0; i < executors; ++i) {
+    batch.queue_mu.push_back(std::make_unique<std::mutex>());
+  }
+  batch.remaining = n;
+  // Contiguous chunks keep owner pops cache-friendly; the stealing path
+  // rebalances whatever the static split got wrong. With n < executors
+  // some queues simply start empty.
+  for (std::size_t p = 0; p < executors; ++p) {
+    const std::size_t lo = p * n / executors;
+    const std::size_t hi = (p + 1) * n / executors;
+    for (std::size_t i = lo; i < hi; ++i) batch.queues[p].push_back(i);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = &batch;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  WorkOn(batch, 0);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch.remaining == 0 && batch.active_workers == 0;
+    });
+    // The batch lives on this stack frame: workers must be provably out
+    // before it is destroyed, and clearing current_ under the lock stops
+    // late wakers from entering it at all.
+    current_ = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void ExecutorPool::WorkOn(Batch& batch, std::size_t self) {
+  const std::size_t executors = batch.queues.size();
+  for (;;) {
+    std::size_t index = 0;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(*batch.queue_mu[self]);
+      if (!batch.queues[self].empty()) {
+        index = batch.queues[self].back();
+        batch.queues[self].pop_back();
+        found = true;
+      }
+    }
+    for (std::size_t k = 1; k < executors && !found; ++k) {
+      const std::size_t victim = (self + k) % executors;
+      std::lock_guard<std::mutex> lock(*batch.queue_mu[victim]);
+      if (!batch.queues[victim].empty()) {
+        index = batch.queues[victim].front();
+        batch.queues[victim].pop_front();
+        found = true;
+      }
+    }
+    if (!found) return;  // all queues drained; in-flight tasks finish in
+                         // the executors that claimed them
+
+    try {
+      (*batch.body)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!batch.error || index < batch.error_index) {
+        batch.error = std::current_exception();
+        batch.error_index = index;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--batch.remaining == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ExecutorPool::WorkerLoop(std::size_t self) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      batch = current_;
+      ++batch->active_workers;
+    }
+    WorkOn(*batch, self);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--batch->active_workers == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace pcpda

@@ -1,0 +1,71 @@
+#ifndef PCPDA_RUNNER_EXECUTOR_POOL_H_
+#define PCPDA_RUNNER_EXECUTOR_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcpda {
+
+/// A fixed-size work-stealing thread pool for embarrassingly parallel
+/// batches: each executor owns a deque of task indices, pops its own back
+/// (LIFO, cache-friendly within the statically assigned chunk) and steals
+/// from other executors' fronts (FIFO) once it runs dry. The pool never
+/// decides *what* a task computes — callers pre-assign every task its
+/// inputs (including its seed) before the batch starts, which is why
+/// results cannot depend on the stealing order; see DESIGN.md §10.
+///
+/// Worker threads are spawned once at construction and sleep between
+/// batches, so submitting many small batches (the fuzzer's per-iteration
+/// fan-out) stays cheap.
+class ExecutorPool {
+ public:
+  /// `threads` is the number of concurrent executors, *including* the
+  /// calling thread; values < 1 clamp to 1. With one executor no worker
+  /// threads are spawned and ParallelFor degenerates to the plain serial
+  /// loop.
+  explicit ExecutorPool(int threads);
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  int threads() const { return num_threads_; }
+
+  /// Hardware concurrency, at least 1.
+  static int DefaultThreads();
+
+  /// Runs body(0) .. body(n-1) exactly once each, distributed over the
+  /// executors; the calling thread participates. Returns only when every
+  /// index has finished. Bodies must not call back into the pool. If
+  /// bodies throw, the whole batch still drains and the exception from
+  /// the lowest-index failing task is rethrown here (deterministic
+  /// regardless of scheduling).
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Batch;
+
+  /// Drains `batch` from executor slot `self` until no queue holds work.
+  void WorkOn(Batch& batch, std::size_t self);
+  void WorkerLoop(std::size_t self);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait here for a batch
+  std::condition_variable done_cv_;  // ParallelFor waits here for drain
+  Batch* current_ = nullptr;         // guarded by mu_
+  std::uint64_t epoch_ = 0;          // bumps once per batch; guarded by mu_
+  bool stop_ = false;                // guarded by mu_
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_RUNNER_EXECUTOR_POOL_H_

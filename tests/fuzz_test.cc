@@ -111,6 +111,44 @@ TEST(FuzzerTest, SameSeedSameReport) {
   EXPECT_EQ(a.Run().Summary(), b.Run().Summary());
 }
 
+// The batch runner's contract end to end: a campaign whose per-iteration
+// protocol fan-out runs on 4 executors must produce byte-identical
+// findings to the serial campaign — same iterations flagged, same
+// derived scenario seeds, same failure text, and the exact same shrunken
+// repro bytes. Runs against the broken T*-guard build so the campaign
+// actually finds (and shrinks) failures on both sides.
+TEST(FuzzerTest, CampaignParallelJobsMatchSerial) {
+  FuzzOptions serial = SmokeOptions();
+  serial.oracles.pcp_da.enable_tstar_guard = false;
+  serial.max_findings = 3;
+  serial.shrink.max_evals = 80;
+  FuzzOptions parallel = serial;
+  parallel.jobs = 4;
+
+  ScenarioFuzzer a(serial);
+  ScenarioFuzzer b(parallel);
+  const FuzzReport ra = a.Run();
+  const FuzzReport rb = b.Run();
+
+  ASSERT_FALSE(ra.findings.empty())
+      << "serial campaign missed the broken build";
+  EXPECT_EQ(ra.iterations, rb.iterations);
+  EXPECT_EQ(ra.scenarios_with_faults, rb.scenarios_with_faults);
+  ASSERT_EQ(ra.findings.size(), rb.findings.size());
+  for (std::size_t i = 0; i < ra.findings.size(); ++i) {
+    const FuzzFinding& fa = ra.findings[i];
+    const FuzzFinding& fb = rb.findings[i];
+    EXPECT_EQ(fa.iteration, fb.iteration);
+    EXPECT_EQ(fa.scenario_seed, fb.scenario_seed);
+    EXPECT_EQ(fa.failure.DebugString(), fb.failure.DebugString());
+    EXPECT_EQ(fa.original_text, fb.original_text);
+    EXPECT_EQ(fa.minimal_text, fb.minimal_text);
+    EXPECT_EQ(fa.shrunk, fb.shrunk);
+    EXPECT_EQ(fa.shrink_evals, fb.shrink_evals);
+  }
+  EXPECT_EQ(ra.Summary(), rb.Summary());
+}
+
 // --- Broken-build acceptance ----------------------------------------------
 // Disabling the T* guard yields the paper's Example-5 "condition (2)"
 // protocol, which can deadlock. The oracles must catch it within the
