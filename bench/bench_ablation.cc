@@ -44,6 +44,8 @@ std::vector<Scenario> AblationScenarios() {
     scenarios.push_back(Scenario{StrFormat("ablation_t%d", trial),
                                  std::move(set).value(), kHorizon,
                                  {},
+                                 {},
+                                 {},
                                  {}});
   }
   return scenarios;

@@ -42,6 +42,8 @@ std::vector<Scenario> PointScenarios(double utilization,
     scenarios.push_back(Scenario{StrFormat("sweep_t%d", trial),
                                  std::move(set).value(), kHorizon,
                                  {},
+                                 {},
+                                 {},
                                  {}});
   }
   return scenarios;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "lint/lint.h"
 #include "runner/batch_runner.h"
 #include "workload/scenario.h"
 
@@ -37,7 +38,10 @@ void Usage(const char* argv0) {
       "concurrency)\n"
       "  --horizon=H    horizon override for scenarios that declare none\n"
       "                 (default: twice the hyperperiod)\n"
-      "  --csv=FILE     write the report to FILE instead of stdout\n",
+      "  --csv=FILE     write the report to FILE instead of stdout\n"
+      "  --no-lint      skip the static pre-flight (lint errors "
+      "normally\n"
+      "                 drop the scenario from the batch)\n",
       argv0);
 }
 
@@ -85,6 +89,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   int jobs = ExecutorPool::DefaultThreads();
   Tick horizon_override = 0;
+  bool lint = true;
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
     if (ParseFlag(argv[i], "--dir", &value)) {
@@ -95,6 +100,8 @@ int main(int argc, char** argv) {
       horizon_override = std::strtoll(value, nullptr, 10);
     } else if (ParseFlag(argv[i], "--csv", &value)) {
       csv_path = value;
+    } else if (std::strcmp(argv[i], "--no-lint") == 0) {
+      lint = false;
     } else {
       Usage(argv[0]);
       return 2;
@@ -133,6 +140,20 @@ int main(int argc, char** argv) {
                    scenario.status().ToString().c_str());
       failed = true;
       continue;
+    }
+    if (lint) {
+      const LintReport report =
+          LintScenario(*scenario, LintFilterOptions());
+      if (!report.clean()) {
+        // A statically invalid scenario would poison the aggregate
+        // report; skip it and let the exit code flag the batch.
+        std::fprintf(stderr, "%s", report.Render(path).c_str());
+        std::fprintf(stderr,
+                     "%s: skipped (lint errors; --no-lint overrides)\n",
+                     path.c_str());
+        failed = true;
+        continue;
+      }
     }
     scenarios.push_back(std::move(scenario).value());
   }

@@ -1,9 +1,11 @@
 // Scenario runner: load a transaction set from a .scn file and simulate
-// it under a chosen protocol (or all of them).
+// it under a chosen protocol (or all of them). The static analyzer runs
+// as a pre-flight: lint errors refuse the run (--no-lint skips it).
 //
 //   ./build/examples/run_scenario scenarios/example4.scn            # all
 //   ./build/examples/run_scenario scenarios/example4.scn PCP-DA
 //   ./build/examples/run_scenario scenarios/avionics.scn RW-PCP 800
+//   ./build/examples/run_scenario --no-lint broken.scn PCP-DA
 
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +13,7 @@
 #include <optional>
 
 #include "history/serialization_graph.h"
+#include "lint/lint.h"
 #include "protocols/factory.h"
 #include "sched/simulator.h"
 #include "trace/gantt.h"
@@ -52,10 +55,16 @@ void RunOne(const Scenario& scenario, ProtocolKind kind, Tick horizon) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool lint = true;
+  if (argc > 1 && std::strcmp(argv[1], "--no-lint") == 0) {
+    lint = false;
+    --argc;
+    ++argv;
+  }
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <scenario.scn> [protocol] [horizon]\n"
-                 "protocols:",
+                 "usage: %s [--no-lint] <scenario.scn> [protocol] "
+                 "[horizon]\nprotocols:",
                  argv[0]);
     for (ProtocolKind kind : AllProtocolKinds()) {
       std::fprintf(stderr, " %s", ToString(kind));
@@ -67,6 +76,18 @@ int main(int argc, char** argv) {
   if (!scenario.ok()) {
     std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
     return 1;
+  }
+  if (lint) {
+    const LintReport report = LintScenario(*scenario);
+    if (!report.diagnostics.empty()) {
+      std::fprintf(stderr, "%s", report.Render(argv[1]).c_str());
+    }
+    if (!report.clean()) {
+      std::fprintf(stderr,
+                   "refusing to simulate a scenario with lint errors "
+                   "(--no-lint overrides)\n");
+      return 1;
+    }
   }
   Tick horizon = scenario->horizon;
   if (argc > 3) horizon = std::strtoll(argv[3], nullptr, 10);

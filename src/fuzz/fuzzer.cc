@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "lint/lint.h"
 #include "runner/batch_runner.h"
 #include "workload/generator.h"
 
@@ -100,7 +101,7 @@ StatusOr<Scenario> ScenarioFuzzer::MakeScenario(int iteration) const {
   Scenario scenario{
       StrFormat("fuzz_%016llx_i%d",
                 static_cast<unsigned long long>(scenario_seed), iteration),
-      std::move(set).value(), horizon, {}, std::move(faults)};
+      std::move(set).value(), horizon, {}, std::move(faults), {}, {}};
   return scenario;
 }
 
@@ -129,6 +130,31 @@ FuzzReport ScenarioFuzzer::Run() {
       continue;
     }
     if (scenario->faults.enabled()) ++report.scenarios_with_faults;
+
+    if (options_.lint) {
+      const LintReport lint =
+          LintScenario(*scenario, LintFilterOptions());
+      if (!lint.clean()) {
+        // The generator produced something the static analyzer proves
+        // invalid: a disagreement between the two validity definitions.
+        // Simulating it would test nothing, so report and move on.
+        FuzzFinding finding;
+        finding.iteration = iteration;
+        finding.scenario_seed = MixSeed(options_.seed, iteration);
+        finding.failure = OracleFailure{
+            "lint", "",
+            StrFormat("%d lint error(s): %s", lint.errors(),
+                      lint.diagnostics.front().message.c_str())};
+        finding.original_text = FormatScenario(*scenario);
+        finding.minimal_text = finding.original_text;
+        report.findings.push_back(std::move(finding));
+        if (static_cast<int>(report.findings.size()) >=
+            options_.max_findings) {
+          break;
+        }
+        continue;
+      }
+    }
 
     const std::vector<RunSpec> plan =
         PlanOracleRuns(*scenario, options_.oracles);

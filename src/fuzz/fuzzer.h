@@ -29,6 +29,11 @@ struct FuzzOptions {
   double fault_probability = 0.5;
   /// Stop the campaign after this many findings.
   int max_findings = 8;
+  /// Run the static analyzer (error-level rules only) on every generated
+  /// scenario before simulating it. A lint rejection of a generator
+  /// output is a finding of its own class: the generator and the
+  /// analyzer disagree about scenario validity.
+  bool lint = true;
   /// Protocol selection and the broken-build test hook.
   OracleOptions oracles;
   ShrinkOptions shrink;

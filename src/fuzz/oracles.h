@@ -43,6 +43,11 @@ struct OracleOptions {
 ///   released-equal   fault-free runs released different job counts
 ///                    across protocols
 ///   determinism      re-running the same configuration diverged
+///
+/// The fuzzer additionally emits findings with oracle ids outside this
+/// table: "generator" (MakeScenario itself failed) and "lint" (the
+/// static analyzer proves a generated scenario invalid before any
+/// simulation — a generator/analyzer disagreement; see lint/lint.h).
 struct OracleFailure {
   std::string oracle;
   /// Protocol name, empty for cross-protocol oracles (released-equal).

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "lint/lint.h"
+
 namespace pcpda {
 namespace {
 
@@ -37,7 +39,8 @@ std::optional<std::pair<std::string, Scenario>> Materialize(
                                     PriorityAssignment::kAsListed);
   if (!set.ok()) return std::nullopt;
   const Scenario assembled{candidate.name, std::move(set).value(),
-                           candidate.horizon, {}, candidate.faults};
+                           candidate.horizon, {}, candidate.faults,
+                           {}, {}};
   // Guard FormatScenario's spec-name lookups before serializing.
   for (const FaultSpec& fault : candidate.faults.faults) {
     if (fault.spec != kInvalidSpec &&
@@ -48,6 +51,10 @@ std::optional<std::pair<std::string, Scenario>> Materialize(
   std::string text = FormatScenario(assembled);
   auto parsed = ParseScenario(text);
   if (!parsed.ok()) return std::nullopt;
+  // Static pre-flight: a candidate the analyzer rejects outright would
+  // report its defect through lint, not through an oracle, so it cannot
+  // be a faithful minimization of the original finding.
+  if (LintRejects(parsed.value())) return std::nullopt;
   return std::make_pair(std::move(text), std::move(parsed).value());
 }
 

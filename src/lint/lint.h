@@ -1,0 +1,84 @@
+#ifndef PCPDA_LINT_LINT_H_
+#define PCPDA_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lint/diagnostic.h"
+#include "protocols/factory.h"
+#include "workload/scenario.h"
+
+namespace pcpda {
+
+/// The static scenario analyzer: checks PCP-DA's statically decidable
+/// preconditions and guarantees over a parsed .scn scenario, without
+/// running the simulator. Every rule maps to a paper property (DESIGN.md
+/// §11 for the full rationale):
+///
+///   rule                   sev      what it detects
+///   parse-error            error    the text does not parse
+///   wceil-mismatch         error    `expect wceil` assertion is wrong
+///   aceil-mismatch         error    `expect aceil` assertion is wrong
+///   expect-unknown-item    error    expect references a missing item
+///   expect-unknown-txn     error    expect references a missing txn
+///   ceiling-internal       error    StaticCeilings disagrees with an
+///                                   independent recomputation (library
+///                                   bug; the fuzz cross-check's target)
+///   cs-overlap             warning  two items' critical sections
+///                                   interleave without nesting
+///   duplicate-access       warning  adjacent same-mode re-access of an
+///                                   item (redundant lock request)
+///   potential-deadlock     warning  static wait-for cycle reachable
+///                                   under 2PL-PI (2PL-HP restarts
+///                                   through it; ceiling protocols are
+///                                   immune by Theorem 2)
+///   unused-item            warning  declared item no txn touches
+///   txn-beyond-horizon     warning  txn never releases in the horizon
+///   fault-beyond-horizon   warning  `at=` fault fires past the horizon
+///   overlong-body          warning  C_i exceeds the effective deadline
+///   utilization-overload   warning  sum C_i/Pd_i > 1
+///   unschedulable          warning  response-time analysis says a txn
+///                                   misses its deadline under worst-
+///                                   case Section-9 blocking
+///   rm-bound-inconclusive  note     Liu–Layland bound fails but exact
+///                                   response-time analysis passes
+///   analysis-skipped       note     schedulability pre-check skipped
+///                                   (one-shot txns / non-RM order)
+struct LintOptions {
+  /// Protocols whose Section-9 blocking terms feed the schedulability
+  /// pre-checks. Restricted to AnalyzableProtocolKinds(); others are
+  /// ignored. Default: the paper's protocol.
+  std::vector<ProtocolKind> analysis_protocols = {ProtocolKind::kPcpDa};
+  /// Run the RM-bound / response-time pre-checks.
+  bool schedulability = true;
+  /// Emit informational notes (kNote severity).
+  bool include_notes = true;
+};
+
+/// Analyzes a parsed scenario.
+LintReport LintScenario(const Scenario& scenario,
+                        const LintOptions& options = {});
+
+/// Parses and analyzes scenario text. A parse failure yields a report
+/// with a single `parse-error` diagnostic carrying the error's span.
+LintReport LintScenarioText(const std::string& text,
+                            const LintOptions& options = {});
+
+/// Same for a file; NotFound when the file cannot be read.
+StatusOr<LintReport> LintScenarioFile(const std::string& path,
+                                      const LintOptions& options = {});
+
+/// The configuration of the cheap error-only validity filter: no
+/// schedulability pass, no notes. The fuzzer runs it on every generated
+/// scenario and the shrinker on every candidate.
+LintOptions LintFilterOptions();
+
+/// True when the analyzer finds error-level diagnostics under
+/// LintFilterOptions() — the static pre-flight used by the fuzzer's
+/// shrinker to reject candidates before any oracle simulation.
+bool LintRejects(const Scenario& scenario);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_LINT_LINT_H_

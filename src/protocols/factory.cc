@@ -45,6 +45,48 @@ std::vector<ProtocolKind> AnalyzableProtocolKinds() {
           ProtocolKind::kOpcp};
 }
 
+ProtocolTraits TraitsOf(ProtocolKind kind) {
+  ProtocolTraits traits;
+  switch (kind) {
+    case ProtocolKind::kPcpDa:
+      traits.update_model = UpdateModel::kWorkspace;
+      traits.ceiling_rule = CeilingRule::kWriteOnRead;
+      traits.priority_inheritance = true;
+      traits.deadlock_free = true;
+      return traits;
+    case ProtocolKind::kRwPcp:
+      traits.ceiling_rule = CeilingRule::kReadWrite;
+      traits.priority_inheritance = true;
+      traits.deadlock_free = true;
+      return traits;
+    case ProtocolKind::kCcp:
+      traits.ceiling_rule = CeilingRule::kReadWrite;
+      traits.priority_inheritance = true;
+      traits.releases_early = true;
+      traits.deadlock_free = true;
+      return traits;
+    case ProtocolKind::kOpcp:
+      traits.ceiling_rule = CeilingRule::kAbsolute;
+      traits.priority_inheritance = true;
+      traits.deadlock_free = true;
+      return traits;
+    case ProtocolKind::kTwoPlPi:
+      traits.priority_inheritance = true;
+      return traits;
+    case ProtocolKind::kTwoPlHp:
+      traits.resolves_by_restart = true;
+      traits.deadlock_free = true;
+      return traits;
+    case ProtocolKind::kOccBc:
+    case ProtocolKind::kOccDa:
+      traits.update_model = UpdateModel::kWorkspace;
+      traits.resolves_by_restart = true;
+      traits.deadlock_free = true;
+      return traits;
+  }
+  PCPDA_UNREACHABLE("bad ProtocolKind");
+}
+
 std::unique_ptr<Protocol> MakeProtocol(ProtocolKind kind) {
   switch (kind) {
     case ProtocolKind::kPcpDa:

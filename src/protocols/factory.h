@@ -30,6 +30,29 @@ std::vector<ProtocolKind> AllProtocolKinds();
 /// analysis (PCP-DA, RW-PCP, CCP, OPCP).
 std::vector<ProtocolKind> AnalyzableProtocolKinds();
 
+/// Static facts about a protocol, available without instantiating it.
+/// The static analyzer (src/lint/) gates its rules on these; they mirror
+/// the virtual Protocol accessors, and lint_test pins the two in sync.
+struct ProtocolTraits {
+  UpdateModel update_model = UpdateModel::kInPlace;
+  CeilingRule ceiling_rule = CeilingRule::kNone;
+  /// Blocked requesters donate their priority to the blockers.
+  bool priority_inheritance = false;
+  /// Locks may be released before commit (CCP's convex early release).
+  bool releases_early = false;
+  /// Lock or validation conflicts are resolved by restarting jobs
+  /// (2PL-HP victims, OCC validation aborts) rather than by waiting.
+  bool resolves_by_restart = false;
+  /// Statically immune to deadlock: ceiling protocols by the paper's
+  /// Theorem 2; 2PL-HP because a job only ever waits for a higher
+  /// priority holder (wait edges cannot cycle); OCC because it never
+  /// blocks. Only 2PL-PI can reach a genuine wait-for cycle.
+  bool deadlock_free = false;
+};
+
+/// The static trait table for `kind`.
+ProtocolTraits TraitsOf(ProtocolKind kind);
+
 /// Creates a fresh protocol instance.
 std::unique_ptr<Protocol> MakeProtocol(ProtocolKind kind);
 

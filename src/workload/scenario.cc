@@ -1,5 +1,6 @@
 #include "workload/scenario.h"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
@@ -12,21 +13,37 @@
 namespace pcpda {
 namespace {
 
+/// A token with the 1-based column of its first character, so parse
+/// errors and recorded entity spans can point into the line.
+struct Token {
+  std::string text;
+  int column = 0;
+};
+
 /// Splits a line into whitespace-separated tokens, dropping comments.
-std::vector<std::string> Tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream stream(line);
-  std::string token;
-  while (stream >> token) {
-    if (token.front() == '#') break;
-    tokens.push_back(token);
+std::vector<Token> Tokenize(const std::string& line) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#') break;
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    tokens.push_back(
+        Token{line.substr(start, i - start), static_cast<int>(start) + 1});
   }
   return tokens;
 }
 
-Status ParseError(int line_number, const std::string& message) {
+Status ParseError(int line_number, int column, const std::string& message) {
   return Status::InvalidArgument(
-      StrFormat("line %d: %s", line_number, message.c_str()));
+      StrFormat("line %d:%d: %s", line_number, column, message.c_str()));
 }
 
 bool ParseTick(const std::string& token, Tick* out) {
@@ -60,10 +77,15 @@ bool ParseDouble(const std::string& token, double* out) {
 struct PendingFault {
   FaultSpec fault;
   std::string target;
-  int line = 0;
+  SourceSpan span;
 };
 
 }  // namespace
+
+std::string SourceSpan::DebugString() const {
+  if (!valid()) return "?";
+  return StrFormat("%d:%d", line, column);
+}
 
 StatusOr<Scenario> ParseScenario(const std::string& text) {
   std::string name = "scenario";
@@ -71,18 +93,27 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
   PriorityAssignment assignment = PriorityAssignment::kRateMonotonic;
   std::map<std::string, ItemId> items;
   std::vector<TransactionSpec> specs;
+  std::vector<CeilingExpectation> expects;
+  ScenarioSpans spans;
 
-  auto item_id = [&items](const std::string& item_name) {
-    auto [it, inserted] = items.try_emplace(
-        item_name, static_cast<ItemId>(items.size()));
+  auto item_id = [&items, &spans](const std::string& item_name,
+                                  SourceSpan span) {
+    auto [it, inserted] =
+        items.try_emplace(item_name, static_cast<ItemId>(items.size()));
+    if (inserted) spans.items.emplace(item_name, span);
     return it->second;
   };
 
   bool in_txn = false;
   std::set<std::string> txn_names;
   TransactionSpec current;
+  std::vector<SourceSpan> current_steps;
+  SourceSpan txn_open;
   bool in_faults = false;
   bool saw_faults = false;
+  SourceSpan faults_open;
+  bool in_expect = false;
+  SourceSpan expect_open;
   std::uint64_t fault_seed = 1;
   std::vector<PendingFault> pending_faults;
 
@@ -91,15 +122,19 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
   int line_number = 0;
   while (std::getline(stream, line)) {
     ++line_number;
-    const std::vector<std::string> tokens = Tokenize(line);
+    const std::vector<Token> tokens = Tokenize(line);
     if (tokens.empty()) continue;
-    const std::string& keyword = tokens[0];
+    const std::string& keyword = tokens[0].text;
+    const SourceSpan keyword_span{line_number, tokens[0].column};
 
     if (in_txn) {
       if (keyword == "end") {
         if (tokens.size() != 1) {
-          return ParseError(line_number, "end takes no arguments");
+          return ParseError(line_number, tokens[1].column,
+                            "end takes no arguments");
         }
+        spans.steps[current.name] = std::move(current_steps);
+        current_steps.clear();
         specs.push_back(std::move(current));
         current = TransactionSpec{};
         in_txn = false;
@@ -107,31 +142,35 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
       }
       if (keyword == "read" || keyword == "write") {
         if (tokens.size() < 2 || tokens.size() > 3) {
-          return ParseError(line_number,
+          return ParseError(line_number, tokens[0].column,
                             keyword + " needs an item and an optional "
                                       "duration");
         }
         Tick duration = 1;
         if (tokens.size() == 3 &&
-            (!ParseTick(tokens[2], &duration) || duration <= 0)) {
-          return ParseError(line_number, "bad duration");
+            (!ParseTick(tokens[2].text, &duration) || duration <= 0)) {
+          return ParseError(line_number, tokens[2].column, "bad duration");
         }
-        const ItemId item = item_id(tokens[1]);
+        const ItemId item =
+            item_id(tokens[1].text,
+                    SourceSpan{line_number, tokens[1].column});
         current.body.push_back(keyword == "read" ? Read(item, duration)
                                                  : Write(item, duration));
+        current_steps.push_back(keyword_span);
         continue;
       }
       if (keyword == "compute") {
         Tick duration = 0;
-        if (tokens.size() != 2 || !ParseTick(tokens[1], &duration) ||
+        if (tokens.size() != 2 || !ParseTick(tokens[1].text, &duration) ||
             duration <= 0) {
-          return ParseError(line_number,
+          return ParseError(line_number, tokens[0].column,
                             "compute needs a positive duration");
         }
         current.body.push_back(Compute(duration));
+        current_steps.push_back(keyword_span);
         continue;
       }
-      return ParseError(line_number,
+      return ParseError(line_number, tokens[0].column,
                         "unknown step '" + keyword +
                             "' (expected read/write/compute/end)");
     }
@@ -139,7 +178,8 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
     if (in_faults) {
       if (keyword == "end") {
         if (tokens.size() != 1) {
-          return ParseError(line_number, "end takes no arguments");
+          return ParseError(line_number, tokens[1].column,
+                            "end takes no arguments");
         }
         in_faults = false;
         continue;
@@ -156,24 +196,25 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
       } else if (keyword == "burst") {
         kind = FaultKind::kBurstArrival;
       } else {
-        return ParseError(line_number,
+        return ParseError(line_number, tokens[0].column,
                           "unknown fault '" + keyword +
                               "' (expected abort/restart/overrun/delay/"
                               "burst/end)");
       }
       if (tokens.size() < 2) {
-        return ParseError(line_number,
+        return ParseError(line_number, tokens[0].column,
                           keyword + " needs a target txn name or *");
       }
       PendingFault pending;
       pending.fault.kind = kind;
-      pending.target = tokens[1];
-      pending.line = line_number;
+      pending.target = tokens[1].text;
+      pending.span = keyword_span;
       for (std::size_t i = 2; i < tokens.size(); ++i) {
-        const std::string& attr = tokens[i];
+        const std::string& attr = tokens[i].text;
+        const int attr_column = tokens[i].column;
         const auto eq = attr.find('=');
         if (eq == std::string::npos) {
-          return ParseError(line_number,
+          return ParseError(line_number, attr_column,
                             "fault attribute must be key=value: " + attr);
         }
         const std::string key = attr.substr(0, eq);
@@ -181,20 +222,20 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
         if (key == "at") {
           if (!ParseTick(value, &pending.fault.at) ||
               pending.fault.at < 0) {
-            return ParseError(line_number,
+            return ParseError(line_number, attr_column,
                               "at must be a tick >= 0 in " + attr);
           }
         } else if (key == "prob") {
           if (!ParseDouble(value, &pending.fault.probability) ||
               pending.fault.probability < 0.0 ||
               pending.fault.probability > 1.0) {
-            return ParseError(line_number,
+            return ParseError(line_number, attr_column,
                               "prob must be in [0, 1] in " + attr);
           }
         } else if (key == "by" || key == "upto") {
           if (!ParseTick(value, &pending.fault.extra) ||
               pending.fault.extra <= 0) {
-            return ParseError(line_number,
+            return ParseError(line_number, attr_column,
                               key + " must be a positive tick count in " +
                                   attr);
           }
@@ -202,42 +243,75 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
           Tick count = 0;
           if (!ParseTick(value, &count) || count <= 0 ||
               count > (1 << 20)) {
-            return ParseError(line_number,
+            return ParseError(line_number, attr_column,
                               "count must be in [1, 2^20] in " + attr);
           }
           pending.fault.count = static_cast<int>(count);
         } else {
-          return ParseError(line_number, "unknown fault attribute " + key);
+          return ParseError(line_number, attr_column,
+                            "unknown fault attribute " + key);
         }
       }
       pending_faults.push_back(std::move(pending));
       continue;
     }
 
+    if (in_expect) {
+      if (keyword == "end") {
+        if (tokens.size() != 1) {
+          return ParseError(line_number, tokens[1].column,
+                            "end takes no arguments");
+        }
+        in_expect = false;
+        continue;
+      }
+      if (keyword == "wceil" || keyword == "aceil") {
+        if (tokens.size() != 3) {
+          return ParseError(line_number, tokens[0].column,
+                            keyword +
+                                " needs an item and a txn name (or dummy)");
+        }
+        CeilingExpectation expectation;
+        expectation.write_ceiling = keyword == "wceil";
+        expectation.item = tokens[1].text;
+        expectation.txn = tokens[2].text;
+        expectation.span = keyword_span;
+        expects.push_back(std::move(expectation));
+        continue;
+      }
+      return ParseError(line_number, tokens[0].column,
+                        "unknown expectation '" + keyword +
+                            "' (expected wceil/aceil/end)");
+    }
+
     if (keyword == "scenario") {
       if (tokens.size() != 2) {
-        return ParseError(line_number, "scenario needs a name");
+        return ParseError(line_number, tokens[0].column,
+                          "scenario needs a name");
       }
-      name = tokens[1];
+      name = tokens[1].text;
       continue;
     }
     if (keyword == "horizon") {
-      if (tokens.size() != 2 || !ParseTick(tokens[1], &horizon) ||
+      if (tokens.size() != 2 || !ParseTick(tokens[1].text, &horizon) ||
           horizon <= 0) {
-        return ParseError(line_number, "horizon needs a positive tick");
+        return ParseError(line_number, tokens[0].column,
+                          "horizon needs a positive tick");
       }
+      spans.horizon = keyword_span;
       continue;
     }
     if (keyword == "priority") {
       if (tokens.size() != 2) {
-        return ParseError(line_number, "priority needs a mode");
+        return ParseError(line_number, tokens[0].column,
+                          "priority needs a mode");
       }
-      if (tokens[1] == "as-listed") {
+      if (tokens[1].text == "as-listed") {
         assignment = PriorityAssignment::kAsListed;
-      } else if (tokens[1] == "rate-monotonic") {
+      } else if (tokens[1].text == "rate-monotonic") {
         assignment = PriorityAssignment::kRateMonotonic;
       } else {
-        return ParseError(line_number,
+        return ParseError(line_number, tokens[1].column,
                           "priority mode must be as-listed or "
                           "rate-monotonic");
       }
@@ -245,35 +319,41 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
     }
     if (keyword == "item") {
       if (tokens.size() != 2) {
-        return ParseError(line_number, "item needs a name");
+        return ParseError(line_number, tokens[0].column,
+                          "item needs a name");
       }
-      item_id(tokens[1]);
+      item_id(tokens[1].text, SourceSpan{line_number, tokens[1].column});
       continue;
     }
     if (keyword == "txn") {
       if (tokens.size() < 2) {
-        return ParseError(line_number, "txn needs a name");
+        return ParseError(line_number, tokens[0].column,
+                          "txn needs a name");
       }
       current = TransactionSpec{};
-      current.name = tokens[1];
+      current.name = tokens[1].text;
       if (!txn_names.insert(current.name).second) {
-        return ParseError(line_number,
+        return ParseError(line_number, tokens[1].column,
                           "duplicate txn name '" + current.name + "'");
       }
+      txn_open = SourceSpan{line_number, tokens[1].column};
+      spans.txns.emplace(current.name, txn_open);
       for (std::size_t i = 2; i < tokens.size(); ++i) {
-        const std::string& attr = tokens[i];
+        const std::string& attr = tokens[i].text;
+        const int attr_column = tokens[i].column;
         const auto eq = attr.find('=');
         if (eq == std::string::npos) {
-          return ParseError(line_number,
+          return ParseError(line_number, attr_column,
                             "txn attribute must be key=value: " + attr);
         }
         const std::string key = attr.substr(0, eq);
         Tick value = 0;
         if (!ParseTick(attr.substr(eq + 1), &value)) {
-          return ParseError(line_number, "bad value in " + attr);
+          return ParseError(line_number, attr_column,
+                            "bad value in " + attr);
         }
         if (value < 0) {
-          return ParseError(line_number,
+          return ParseError(line_number, attr_column,
                             key + " must be >= 0 in " + attr);
         }
         if (key == "period") {
@@ -283,7 +363,8 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
         } else if (key == "deadline") {
           current.relative_deadline = value;
         } else {
-          return ParseError(line_number, "unknown txn attribute " + key);
+          return ParseError(line_number, attr_column,
+                            "unknown txn attribute " + key);
         }
       }
       in_txn = true;
@@ -291,32 +372,53 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
     }
     if (keyword == "faults") {
       if (saw_faults) {
-        return ParseError(line_number, "duplicate faults block");
+        return ParseError(line_number, tokens[0].column,
+                          "duplicate faults block");
       }
       for (std::size_t i = 1; i < tokens.size(); ++i) {
-        const std::string& attr = tokens[i];
+        const std::string& attr = tokens[i].text;
+        const int attr_column = tokens[i].column;
         const auto eq = attr.find('=');
         if (eq == std::string::npos || attr.substr(0, eq) != "seed") {
-          return ParseError(line_number,
+          return ParseError(line_number, attr_column,
                             "faults takes only seed=<n>: " + attr);
         }
         // Seeds use the full uint64 domain (FormatScenario writes %llu),
         // so Tick (int64) parsing would clamp the upper half.
         if (!ParseUint64(attr.substr(eq + 1), &fault_seed)) {
-          return ParseError(line_number, "bad value in " + attr);
+          return ParseError(line_number, attr_column,
+                            "bad value in " + attr);
         }
       }
       in_faults = true;
       saw_faults = true;
+      faults_open = keyword_span;
       continue;
     }
-    return ParseError(line_number, "unknown directive '" + keyword + "'");
+    if (keyword == "expect") {
+      if (tokens.size() != 1) {
+        return ParseError(line_number, tokens[1].column,
+                          "expect takes no arguments");
+      }
+      in_expect = true;
+      expect_open = keyword_span;
+      continue;
+    }
+    return ParseError(line_number, tokens[0].column,
+                      "unknown directive '" + keyword + "'");
   }
   if (in_txn) {
-    return Status::InvalidArgument("unterminated txn (missing 'end')");
+    return ParseError(txn_open.line, txn_open.column,
+                      "unterminated txn '" + current.name +
+                          "' (missing 'end')");
   }
   if (in_faults) {
-    return Status::InvalidArgument("unterminated faults (missing 'end')");
+    return ParseError(faults_open.line, faults_open.column,
+                      "unterminated faults (missing 'end')");
+  }
+  if (in_expect) {
+    return ParseError(expect_open.line, expect_open.column,
+                      "unterminated expect (missing 'end')");
   }
   if (specs.empty()) {
     return Status::InvalidArgument("scenario declares no transactions");
@@ -343,17 +445,23 @@ StatusOr<Scenario> ParseScenario(const std::string& text) {
         }
       }
       if (fault.spec == kInvalidSpec) {
-        return ParseError(pending.line,
+        return ParseError(pending.span.line, pending.span.column,
                           "fault targets unknown txn '" + pending.target +
                               "'");
       }
     }
     faults.faults.push_back(fault);
+    spans.faults.push_back(pending.span);
   }
   PCPDA_RETURN_IF_ERROR(ValidateFaultConfig(faults, txns));
 
-  Scenario scenario{name, std::move(txns), horizon, std::move(items),
-                    std::move(faults)};
+  Scenario scenario{name,
+                    std::move(txns),
+                    horizon,
+                    std::move(items),
+                    std::move(faults),
+                    std::move(expects),
+                    std::move(spans)};
   return scenario;
 }
 

@@ -11,6 +11,47 @@
 
 namespace pcpda {
 
+/// A 1-based line:column position in scenario source text. Parser errors
+/// and lint diagnostics (src/lint/) anchor on it. Line 0 means
+/// "synthetic": the scenario was built in memory, not parsed.
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+  /// "12:5", or "?" for a synthetic span.
+  std::string DebugString() const;
+
+  friend bool operator==(const SourceSpan&, const SourceSpan&) = default;
+};
+
+/// One assertion from the optional `expect` block: the declared ceiling
+/// of `item` equals the priority of `txn` ("dummy" asserts no ceiling).
+/// Names are kept unresolved — the linter resolves and checks them, so a
+/// dangling reference is a lint error with a span, not a parse error.
+struct CeilingExpectation {
+  /// Wceil when true (the `wceil` keyword), Aceil otherwise (`aceil`).
+  bool write_ceiling = true;
+  std::string item;
+  std::string txn;
+  SourceSpan span;
+};
+
+/// Source locations of parsed entities, keyed so they survive the
+/// priority reordering TransactionSet::Create applies. All maps are
+/// empty for scenarios assembled in memory.
+struct ScenarioSpans {
+  SourceSpan horizon;
+  /// Item name -> span of its declaration (or first use).
+  std::map<std::string, SourceSpan> items;
+  /// Txn name -> span of its `txn` header line.
+  std::map<std::string, SourceSpan> txns;
+  /// Txn name -> per-step spans, parallel to the spec body.
+  std::map<std::string, std::vector<SourceSpan>> steps;
+  /// Parallel to Scenario::faults.faults.
+  std::vector<SourceSpan> faults;
+};
+
 /// A transaction-set scenario parsed from the line-oriented text format
 /// (see ParseScenario). Lets workloads live in files instead of C++ —
 /// the paper's worked examples ship as .scn files under scenarios/.
@@ -23,6 +64,12 @@ struct Scenario {
   std::map<std::string, ItemId> items;
   /// Fault plan from the `faults ... end` block; empty when absent.
   FaultConfig faults;
+  /// Ceiling assertions from `expect` blocks, in declaration order.
+  /// Checked by the linter, ignored by the simulator; FormatScenario
+  /// does not round-trip them (like comments, they annotate a file).
+  std::vector<CeilingExpectation> expects;
+  /// Source spans for diagnostics; empty when built in memory.
+  ScenarioSpans spans;
 };
 
 /// Parses the scenario text format:
@@ -44,10 +91,15 @@ struct Scenario {
 ///     delay <txn|*> upto=<ticks> at=<tick>|prob=<p>
 ///     burst <txn|*> count=<n> at=<tick>|prob=<p>
 ///   end
+///   expect                                   (optional, lint assertions)
+///     wceil <item> <txn|dummy>
+///     aceil <item> <txn|dummy>
+///   end
 ///
 /// Items are auto-declared on first use, ids assigned in order of
 /// appearance. Fault targets are txn names (resolved after priority
-/// assignment) or `*` for any. Errors carry the offending line number.
+/// assignment) or `*` for any. Errors carry the offending line:column
+/// position ("line 12:5: ...").
 StatusOr<Scenario> ParseScenario(const std::string& text);
 
 /// Reads and parses a scenario file.

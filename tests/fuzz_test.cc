@@ -11,6 +11,7 @@
 #include "fuzz/fuzzer.h"
 #include "fuzz/oracles.h"
 #include "fuzz/shrinker.h"
+#include "lint/lint.h"
 #include "workload/scenario.h"
 
 namespace pcpda {
@@ -278,6 +279,56 @@ TEST(CorpusTest, CommittedCrashReprosPassOnCorrectBuild) {
     ++replayed;
   }
   EXPECT_GT(replayed, 0) << "corpus directory holds no .scn repros";
+}
+
+// --- Static/dynamic cross-check --------------------------------------------
+// The generator, the static analyzer and the simulator define "valid
+// scenario" independently; 1k generated scenarios must produce zero
+// disagreements: nothing the analyzer rejects (the simulator would have
+// run it) and nothing the simulator rejects (the analyzer passed it).
+
+TEST(LintCrossCheckTest, ThousandGeneratedScenariosNoDisagreement) {
+  FuzzOptions options;
+  options.seed = 11;
+  const ScenarioFuzzer fuzzer(options);
+  int disagreements = 0;
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    const auto scenario = fuzzer.MakeScenario(iteration);
+    ASSERT_TRUE(scenario.ok()) << iteration;
+    const LintReport report =
+        LintScenario(*scenario, LintFilterOptions());
+    if (!report.clean()) {
+      ++disagreements;
+      ADD_FAILURE() << "iteration " << iteration
+                    << " statically rejected:\n"
+                    << report.Render(scenario->name)
+                    << FormatScenario(*scenario);
+    }
+  }
+  EXPECT_EQ(disagreements, 0);
+}
+
+// A second, deeper slice: the first 50 scenarios also run one audited
+// PCP-DA simulation each, proving the analyzer's "clean" scenarios are
+// dynamically usable (the fuzz-smoke ctest covers the full oracle stack
+// at campaign scale).
+
+TEST(LintCrossCheckTest, CleanScenariosSimulateAndAuditClean) {
+  FuzzOptions options;
+  options.seed = 11;
+  const ScenarioFuzzer fuzzer(options);
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    const auto scenario = fuzzer.MakeScenario(iteration);
+    ASSERT_TRUE(scenario.ok()) << iteration;
+    ASSERT_TRUE(LintScenario(*scenario, LintFilterOptions()).clean());
+    OracleOptions oracle_options;
+    oracle_options.protocols = {ProtocolKind::kPcpDa};
+    oracle_options.check_determinism = false;
+    const OracleVerdict verdict = RunOracles(*scenario, oracle_options);
+    EXPECT_TRUE(verdict.ok())
+        << "iteration " << iteration << ":\n"
+        << verdict.DebugString();
+  }
 }
 
 }  // namespace

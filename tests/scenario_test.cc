@@ -104,10 +104,19 @@ TEST(ScenarioTest, CommentsAndBlankLines) {
 
 // --- Errors -------------------------------------------------------------
 
-TEST(ScenarioTest, ErrorsCarryLineNumbers) {
+TEST(ScenarioTest, ErrorsCarryLineAndColumn) {
   const auto scenario = ParseScenario("scenario s\nbogus directive\n");
   ASSERT_FALSE(scenario.ok());
-  EXPECT_NE(scenario.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(scenario.status().message().find("line 2:1:"),
+            std::string::npos)
+      << scenario.status().message();
+
+  // The column points at the offending token, not the line start.
+  const auto bad_mode = ParseScenario("priority fancy\n");
+  ASSERT_FALSE(bad_mode.ok());
+  EXPECT_NE(bad_mode.status().message().find("line 1:10:"),
+            std::string::npos)
+      << bad_mode.status().message();
 }
 
 TEST(ScenarioTest, RejectsUnterminatedTxn) {
@@ -248,6 +257,97 @@ TEST(ScenarioTest, FaultProbabilityRoundTripsExactly) {
 
 TEST(ScenarioTest, LoadScenarioFileMissing) {
   EXPECT_FALSE(LoadScenarioFile("/nonexistent/path.scn").ok());
+}
+
+// --- Source spans and the expect block ----------------------------------
+
+TEST(ScenarioTest, RecordsSpansForParsedEntities) {
+  const auto scenario = ParseScenario(
+      "scenario s\n"
+      "horizon 12\n"
+      "item x\n"
+      "txn A offset=1\n"
+      "  read x\n"
+      "  compute 2\n"
+      "end\n"
+      "faults seed=1\n"
+      "  abort A at=3\n"
+      "end\n");
+  ASSERT_TRUE(scenario.ok());
+  const ScenarioSpans& spans = scenario->spans;
+  EXPECT_EQ(spans.horizon, (SourceSpan{2, 1}));
+  ASSERT_TRUE(spans.items.count("x"));
+  EXPECT_EQ(spans.items.at("x"), (SourceSpan{3, 6}));
+  ASSERT_TRUE(spans.txns.count("A"));
+  EXPECT_EQ(spans.txns.at("A"), (SourceSpan{4, 5}));
+  ASSERT_EQ(spans.steps.at("A").size(), 2u);
+  EXPECT_EQ(spans.steps.at("A")[0], (SourceSpan{5, 3}));
+  EXPECT_EQ(spans.steps.at("A")[1], (SourceSpan{6, 3}));
+  ASSERT_EQ(spans.faults.size(), 1u);
+  EXPECT_EQ(spans.faults[0], (SourceSpan{9, 3}));
+}
+
+TEST(ScenarioTest, AutoDeclaredItemSpanIsFirstUse) {
+  const auto scenario = ParseScenario(
+      "scenario s\n"
+      "txn A\n"
+      "  write d\n"
+      "end\n");
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->spans.items.at("d"), (SourceSpan{3, 9}));
+}
+
+TEST(ScenarioTest, InMemoryScenariosHaveSyntheticSpans) {
+  EXPECT_FALSE(SourceSpan{}.valid());
+  EXPECT_EQ(SourceSpan{}.DebugString(), "?");
+  EXPECT_EQ((SourceSpan{12, 5}).DebugString(), "12:5");
+}
+
+TEST(ScenarioTest, ParsesExpectBlock) {
+  const auto scenario = ParseScenario(
+      "scenario s\n"
+      "item x\n"
+      "txn A\n"
+      "  write x\n"
+      "end\n"
+      "expect\n"
+      "  wceil x A\n"
+      "  aceil x dummy\n"
+      "end\n");
+  ASSERT_TRUE(scenario.ok());
+  ASSERT_EQ(scenario->expects.size(), 2u);
+  EXPECT_TRUE(scenario->expects[0].write_ceiling);
+  EXPECT_EQ(scenario->expects[0].item, "x");
+  EXPECT_EQ(scenario->expects[0].txn, "A");
+  EXPECT_EQ(scenario->expects[0].span, (SourceSpan{7, 3}));
+  EXPECT_FALSE(scenario->expects[1].write_ceiling);
+  EXPECT_EQ(scenario->expects[1].txn, "dummy");
+}
+
+TEST(ScenarioTest, RejectsMalformedExpectLines) {
+  EXPECT_FALSE(ParseScenario("txn A\n  read x\nend\n"
+                             "expect\n  wceil x\nend\n")
+                   .ok());
+  EXPECT_FALSE(ParseScenario("txn A\n  read x\nend\n"
+                             "expect\n  ceiling x A\nend\n")
+                   .ok());
+  EXPECT_FALSE(ParseScenario("txn A\n  read x\nend\nexpect\n").ok());
+}
+
+TEST(ScenarioTest, ExpectsAreAnnotationsNotRoundTripped) {
+  const auto scenario = ParseScenario(
+      "scenario s\n"
+      "item x\n"
+      "txn A\n"
+      "  write x\n"
+      "end\n"
+      "expect\n"
+      "  wceil x A\n"
+      "end\n");
+  ASSERT_TRUE(scenario.ok());
+  const auto reparsed = ParseScenario(FormatScenario(*scenario));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->expects.empty());
 }
 
 }  // namespace
