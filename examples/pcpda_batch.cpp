@@ -9,7 +9,8 @@
 // is: the batch runner collects results in submission order, so the
 // report is byte-identical for every worker count.
 //
-// Exit codes: 0 all runs ok, 1 any load/run failure or IO error, 2 usage.
+// Exit codes (shared by every CLI in examples/): 0 all runs ok, 1 any
+// load/run failure, 2 usage or IO error.
 
 #include <algorithm>
 #include <cstdio>
@@ -122,11 +123,11 @@ int main(int argc, char** argv) {
   if (ec) {
     std::fprintf(stderr, "cannot read %s: %s\n", dir.c_str(),
                  ec.message().c_str());
-    return 1;
+    return 2;
   }
   if (paths.empty()) {
     std::fprintf(stderr, "no .scn files in %s\n", dir.c_str());
-    return 1;
+    return 2;
   }
   std::sort(paths.begin(), paths.end());
 
@@ -196,7 +197,7 @@ int main(int argc, char** argv) {
     std::ofstream out(csv_path, std::ios::binary);
     if (!out.good()) {
       std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
-      return 1;
+      return 2;
     }
     out << report;
     std::printf("%zu runs (%zu scenarios x %zu protocols, jobs=%d) -> %s\n",

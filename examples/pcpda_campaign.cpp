@@ -1,0 +1,202 @@
+// Crash-safe experiment-campaign CLI: sweep utilization x protocol over
+// seeded random workloads with per-shard checkpoints, per-job watchdogs,
+// retry/quarantine, and graceful SIGINT/SIGTERM shutdown. Re-invoking
+// with the same flags resumes from the last durable record and produces
+// a BENCH_campaign.json byte-identical to an uninterrupted run.
+//
+//   ./build/examples/pcpda_campaign --out=campaign --scenarios=100
+//   ./build/examples/pcpda_campaign --out=campaign --shards=4 --shard=1
+//   ./build/examples/pcpda_campaign --out=campaign --dist=bimodal
+//
+// Exit codes (shared by every CLI in examples/): 0 campaign complete and
+// every job ok, 1 completed with failed/quarantined jobs or interrupted
+// with work pending, 2 usage, spec or IO error.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "runner/executor_pool.h"
+
+using namespace pcpda;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --out=DIR [flags]\n"
+      "  --out=DIR           checkpoint/result directory (required)\n"
+      "  --seed=N            campaign base seed (default 1)\n"
+      "  --scenarios=K       scenarios per utilization point (default "
+      "100)\n"
+      "  --utils=A,B,...     utilization sweep (default 0.1..0.9)\n"
+      "  --protocols=P,Q,... protocols to compare (default all 8)\n"
+      "  --dist=NAME         uunifast|randfixedsum|exponential|bimodal\n"
+      "  --txns=N            transactions per scenario (default 8)\n"
+      "  --items=N           data items per scenario (default 20)\n"
+      "  --horizon=H         simulation horizon per job (default 3000)\n"
+      "  --shards=S          checkpoint shards (default 1)\n"
+      "  --shard=I           run only shard I of S (default: all)\n"
+      "  --jobs=N            concurrent executors (default: hardware "
+      "concurrency)\n"
+      "  --max-sim-ticks=T   deterministic per-attempt tick budget\n"
+      "                      (default 4x horizon)\n"
+      "  --wall-budget-ms=W  wall-clock per-attempt budget (default off)\n"
+      "  --retries=R         extra attempts after a captured exception "
+      "(default 1)\n"
+      "  --no-fsync          skip per-record fsync (crash safety off)\n"
+      "  --inject-crash=J    fault injection: job J throws every attempt\n"
+      "  --inject-hang=J     fault injection: job J hangs until "
+      "cancelled\n"
+      "  --stop-after=N      deterministic stand-in for SIGINT after N\n"
+      "                      completions\n",
+      argv0);
+}
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(list.substr(start));
+      break;
+    }
+    parts.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignSpec spec;
+  spec.protocols = AllProtocolKinds();
+  CampaignOptions options;
+  options.jobs = ExecutorPool::DefaultThreads();
+  options.stop = &g_stop;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (ParseFlag(argv[i], "--out", &value)) {
+      options.out_dir = value;
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      spec.base_seed = std::strtoull(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--scenarios", &value)) {
+      spec.scenarios = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--utils", &value)) {
+      spec.utilizations.clear();
+      for (const std::string& part : SplitCommas(value)) {
+        spec.utilizations.push_back(std::strtod(part.c_str(), nullptr));
+      }
+    } else if (ParseFlag(argv[i], "--protocols", &value)) {
+      spec.protocols.clear();
+      for (const std::string& part : SplitCommas(value)) {
+        const auto kind = ProtocolKindByName(part);
+        if (!kind.has_value()) {
+          std::fprintf(stderr, "unknown protocol %s\n", part.c_str());
+          return 2;
+        }
+        spec.protocols.push_back(*kind);
+      }
+    } else if (ParseFlag(argv[i], "--dist", &value)) {
+      const auto dist = UtilDistributionByName(value);
+      if (!dist.has_value()) {
+        std::fprintf(stderr, "unknown distribution %s\n", value);
+        return 2;
+      }
+      spec.workload.distribution = *dist;
+    } else if (ParseFlag(argv[i], "--txns", &value)) {
+      spec.workload.num_transactions = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--items", &value)) {
+      spec.workload.num_items = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--horizon", &value)) {
+      spec.horizon = std::strtoll(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      spec.shards = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--shard", &value)) {
+      options.only_shard = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--jobs", &value)) {
+      options.jobs = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--max-sim-ticks", &value)) {
+      spec.max_sim_ticks = std::strtoll(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--wall-budget-ms", &value)) {
+      spec.wall_budget_ms = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--retries", &value)) {
+      spec.max_retries = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--no-fsync") == 0) {
+      options.fsync = false;
+    } else if (ParseFlag(argv[i], "--inject-crash", &value)) {
+      options.inject_crash_job = std::strtoll(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--inject-hang", &value)) {
+      options.inject_hang_job = std::strtoll(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--stop-after", &value)) {
+      options.stop_after = std::strtoll(value, nullptr, 10);
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (options.out_dir.empty() || options.jobs < 1) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  Campaign campaign(spec, options);
+  const auto report = campaign.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+
+  for (const ShardSummary& shard : report->shards) {
+    std::printf(
+        "shard %d: %lld jobs, %lld resumed, %lld ran%s\n", shard.shard,
+        static_cast<long long>(shard.jobs),
+        static_cast<long long>(shard.resumed),
+        static_cast<long long>(shard.ran),
+        shard.torn_bytes > 0
+            ? " (torn checkpoint tail discarded)"
+            : "");
+  }
+  std::printf(
+      "campaign: %lld jobs, %lld ok, %lld failed, %lld quarantined, "
+      "%lld pending%s\n",
+      static_cast<long long>(report->total_jobs),
+      static_cast<long long>(report->ok),
+      static_cast<long long>(report->failed),
+      static_cast<long long>(report->quarantined),
+      static_cast<long long>(report->pending),
+      report->stopped ? " (stopped)" : "");
+  std::printf("manifest: %s\n", report->manifest_path.c_str());
+  if (report->merged) {
+    std::printf("merged: %s\n", report->bench_path.c_str());
+  } else {
+    std::printf("not merged: %lld job(s) pending; re-invoke to resume\n",
+                static_cast<long long>(report->pending));
+  }
+
+  const bool clean = report->merged && report->failed == 0 &&
+                     report->quarantined == 0;
+  return clean ? 0 : 1;
+}

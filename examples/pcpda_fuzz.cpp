@@ -5,9 +5,11 @@
 //
 //   ./build/examples/pcpda_fuzz --seed=1 --iters=200
 //   ./build/examples/pcpda_fuzz --seed=7 --iters=50 --corpus=fuzz/corpus
-//   ./build/examples/pcpda_fuzz --seed=1 --iters=50 --break=all   # must fail
+//   ./build/examples/pcpda_fuzz --seed=1 --iters=200 --break=all  # must fail
+//   ./build/examples/pcpda_fuzz --replay=out/quarantine --iters=0
 //
-// Exit codes: 0 no findings, 1 findings (or corpus IO error), 2 usage.
+// Exit codes (shared by every CLI in examples/): 0 no findings,
+// 1 findings, 2 usage or IO error.
 // Deterministic: the same flags always produce the same findings.
 
 #include <cstdio>
@@ -36,6 +38,9 @@ void Usage(const char* argv0) {
       "  --max-findings=M  stop after M findings (default 8)\n"
       "  --shrink-evals=E  delta-debug budget per finding (default 400)\n"
       "  --corpus=DIR      write minimal .scn repros into DIR\n"
+      "  --replay=DIR      replay every .scn in DIR through the oracle\n"
+      "                    stack before the generated campaign (e.g. a\n"
+      "                    campaign quarantine or an earlier corpus)\n"
       "  --break=MODE      intentionally break PCP-DA: tstar, wr, or all\n"
       "                    (oracle-stack self-test; tstar/all must produce\n"
       "                    findings — wr alone is empirically benign, see\n"
@@ -72,6 +77,8 @@ int main(int argc, char** argv) {
       options.shrink.max_evals = std::atoi(value);
     } else if (ParseFlag(argv[i], "--corpus", &value)) {
       options.corpus_dir = value;
+    } else if (ParseFlag(argv[i], "--replay", &value)) {
+      options.replay_dir = value;
     } else if (ParseFlag(argv[i], "--break", &value)) {
       if (std::strcmp(value, "tstar") == 0) {
         options.oracles.pcp_da.enable_tstar_guard = false;
@@ -89,7 +96,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (options.iterations < 1 || options.jobs < 1 ||
+  // --iters=0 is allowed when replaying: "just re-check the corpus".
+  const int min_iters = options.replay_dir.empty() ? 1 : 0;
+  if (options.iterations < min_iters || options.jobs < 1 ||
       options.horizon_cap < 1 || options.max_findings < 1) {
     Usage(argv[0]);
     return 2;
@@ -102,5 +111,6 @@ int main(int argc, char** argv) {
     std::printf("\n--- finding #%zu minimal repro ---\n%s", i,
                 report.findings[i].minimal_text.c_str());
   }
-  return report.ok() ? 0 : 1;
+  if (!report.io_status.ok()) return 2;
+  return report.findings.empty() ? 0 : 1;
 }

@@ -15,8 +15,8 @@
 //   --no-notes       drop note-severity diagnostics
 //   --quiet          print only files with diagnostics
 //
-// Exit codes: 0 all files pass the --deny gate, 1 at least one file is
-// denied, 2 usage or I/O error.
+// Exit codes (shared by every CLI in examples/): 0 all files pass the
+// --deny gate, 1 at least one file is denied, 2 usage or IO error.
 
 #include <algorithm>
 #include <cstdio>

@@ -2,6 +2,9 @@
 // it under a chosen protocol (or all of them). The static analyzer runs
 // as a pre-flight: lint errors refuse the run (--no-lint skips it).
 //
+// Exit codes (shared by every CLI in examples/): 0 run clean, 1 findings
+// or failed runs, 2 usage or IO error.
+//
 //   ./build/examples/run_scenario scenarios/example4.scn            # all
 //   ./build/examples/run_scenario scenarios/example4.scn PCP-DA
 //   ./build/examples/run_scenario scenarios/avionics.scn RW-PCP 800
@@ -23,14 +26,7 @@ using namespace pcpda;
 
 namespace {
 
-std::optional<ProtocolKind> KindByName(const char* name) {
-  for (ProtocolKind kind : AllProtocolKinds()) {
-    if (std::strcmp(ToString(kind), name) == 0) return kind;
-  }
-  return std::nullopt;
-}
-
-void RunOne(const Scenario& scenario, ProtocolKind kind, Tick horizon) {
+bool RunOne(const Scenario& scenario, ProtocolKind kind, Tick horizon) {
   auto protocol = MakeProtocol(kind);
   SimulatorOptions options;
   options.horizon = horizon;
@@ -42,14 +38,16 @@ void RunOne(const Scenario& scenario, ProtocolKind kind, Tick horizon) {
   if (!result.status.ok() && result.audit.ok()) {
     std::printf("--- %s ---\n%s\n\n", ToString(kind),
                 result.status.ToString().c_str());
-    return;
+    return false;
   }
+  const bool serializable = IsSerializable(result.history);
   std::printf("--- %s ---\n%s\n%s\nserializable: %s\naudit: %s\n\n",
               ToString(kind),
               RenderGantt(scenario.set, result.trace).c_str(),
               result.metrics.DebugString(scenario.set).c_str(),
-              IsSerializable(result.history) ? "yes" : "NO",
+              serializable ? "yes" : "NO",
               result.audit.DebugString().c_str());
+  return result.status.ok() && serializable;
 }
 
 }  // namespace
@@ -75,7 +73,7 @@ int main(int argc, char** argv) {
   const auto scenario = LoadScenarioFile(argv[1]);
   if (!scenario.ok()) {
     std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
-    return 1;
+    return 2;
   }
   if (lint) {
     const LintReport report = LintScenario(*scenario);
@@ -96,24 +94,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "scenario has no horizon and no periodic transactions; "
                  "pass one explicitly\n");
-    return 1;
+    return 2;
   }
 
   std::printf("scenario %s (%d transactions, %d items, horizon %lld)\n\n",
               scenario->name.c_str(), scenario->set.size(),
               scenario->set.item_count(),
               static_cast<long long>(horizon));
+  bool all_ok = true;
   if (argc > 2) {
-    const auto kind = KindByName(argv[2]);
+    const auto kind = ProtocolKindByName(argv[2]);
     if (!kind.has_value()) {
       std::fprintf(stderr, "unknown protocol %s\n", argv[2]);
-      return 1;
+      return 2;
     }
-    RunOne(*scenario, *kind, horizon);
+    all_ok = RunOne(*scenario, *kind, horizon);
   } else {
     for (ProtocolKind kind : AllProtocolKinds()) {
-      RunOne(*scenario, kind, horizon);
+      all_ok = RunOne(*scenario, kind, horizon) && all_ok;
     }
   }
-  return 0;
+  return all_ok ? 0 : 1;
 }

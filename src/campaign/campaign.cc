@@ -1,0 +1,480 @@
+#include "campaign/campaign.h"
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "sched/simulator.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace pcpda {
+namespace {
+
+/// Sum of the paper's effective-blocking metric over all specs.
+std::int64_t TotalBlocking(const RunMetrics& metrics) {
+  Tick blocking = 0;
+  for (const SpecMetrics& spec : metrics.per_spec) {
+    blocking += spec.effective_blocking_ticks;
+  }
+  return static_cast<std::int64_t>(blocking);
+}
+
+}  // namespace
+
+Campaign::Campaign(CampaignSpec spec, CampaignOptions options)
+    : spec_(std::move(spec)),
+      options_(std::move(options)),
+      fingerprint_(spec_.Fingerprint()) {}
+
+std::string Campaign::ShardPath(const std::string& out_dir, int shard) {
+  return StrFormat("%s/shard_%03d.ckpt", out_dir.c_str(), shard);
+}
+
+bool Campaign::StopRequested() const {
+  if (options_.stop != nullptr &&
+      options_.stop->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return internal_stop_.load(std::memory_order_relaxed);
+}
+
+SimResult Campaign::RunJob(const CampaignJob& job,
+                           const JobContext& context) {
+  if (job.id == options_.inject_crash_job) {
+    throw std::runtime_error(
+        StrFormat("injected crash (job %lld attempt %d)",
+                  static_cast<long long>(job.id), context.attempt));
+  }
+  if (job.id == options_.inject_hang_job) {
+    // Spin until the watchdog cancels us — a stand-in for a genuine
+    // non-terminating job that still honors cooperative cancellation.
+    while (!context.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    SimResult result;
+    result.status = Status::DeadlineExceeded(StrFormat(
+        "injected hang (job %lld)", static_cast<long long>(job.id)));
+    return result;
+  }
+
+  WorkloadParams params = spec_.workload;
+  params.total_utilization =
+      spec_.utilizations[static_cast<std::size_t>(job.util_index)];
+  Rng rng(job.scenario_seed);
+  auto set = GenerateWorkload(params, rng);
+  if (!set.ok()) {
+    SimResult result;
+    result.status = set.status();
+    return result;
+  }
+
+  SimulatorOptions sim_options;
+  sim_options.horizon = spec_.horizon;
+  sim_options.record_trace = false;
+  sim_options.record_history = false;
+  sim_options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+  sim_options.cancel = context.cancel;
+  sim_options.max_sim_ticks = spec_.effective_max_sim_ticks();
+  std::unique_ptr<Protocol> protocol = MakeProtocol(
+      spec_.protocols[static_cast<std::size_t>(job.protocol_index)]);
+  Simulator simulator(&set.value(), protocol.get(), sim_options);
+  return simulator.Run();
+}
+
+JobRecord Campaign::MakeRecord(const CampaignJob& job,
+                               const JobResult& result) const {
+  JobRecord record;
+  record.job_id = job.id;
+  record.outcome = ToString(result.outcome);
+  record.attempts = result.attempts;
+  record.code = ToString(result.result.status.code());
+  record.message = result.result.status.message();
+  if (result.outcome == JobOutcome::kOk) {
+    const RunMetrics& m = result.result.metrics;
+    record.released = m.TotalReleased();
+    record.committed = m.TotalCommitted();
+    record.misses = m.TotalMisses();
+    record.blocking_ticks = TotalBlocking(m);
+    record.restarts = m.TotalRestarts();
+    record.deadlocks = m.deadlocks;
+  }
+  return record;
+}
+
+Status Campaign::WriteQuarantine(const CampaignJob& job,
+                                 const JobRecord& record) {
+  const std::string dir = options_.out_dir + "/quarantine";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal(
+        StrFormat("mkdir %s: %s", dir.c_str(), ec.message().c_str()));
+  }
+  const std::string stem =
+      StrFormat("%s/job_%06lld", dir.c_str(),
+                static_cast<long long>(job.id));
+  const std::string info = StrFormat(
+      "{\n"
+      "  \"job\": %lld,\n"
+      "  \"scenario_index\": %d,\n"
+      "  \"util_index\": %d,\n"
+      "  \"utilization\": %g,\n"
+      "  \"protocol\": \"%s\",\n"
+      "  \"scenario_seed\": %llu,\n"
+      "  \"outcome\": \"%s\",\n"
+      "  \"attempts\": %d,\n"
+      "  \"code\": \"%s\",\n"
+      "  \"message\": \"%s\"\n"
+      "}\n",
+      static_cast<long long>(job.id), job.scenario_index, job.util_index,
+      spec_.utilizations[static_cast<std::size_t>(job.util_index)],
+      ToString(
+          spec_.protocols[static_cast<std::size_t>(job.protocol_index)]),
+      static_cast<unsigned long long>(job.scenario_seed),
+      record.outcome.c_str(), record.attempts, record.code.c_str(),
+      record.message.c_str());
+  PCPDA_RETURN_IF_ERROR(WriteFileAtomic(stem + ".json", info));
+
+  // Reproduce the poisoned workload as a replayable .scn (deterministic
+  // from the seed). Best effort: if generation itself was the failure,
+  // the .json record alone documents it.
+  WorkloadParams params = spec_.workload;
+  params.total_utilization =
+      spec_.utilizations[static_cast<std::size_t>(job.util_index)];
+  Rng rng(job.scenario_seed);
+  auto set = GenerateWorkload(params, rng);
+  if (set.ok()) {
+    const std::string name =
+        StrFormat("quarantine_job_%lld", static_cast<long long>(job.id));
+    PCPDA_RETURN_IF_ERROR(WriteFileAtomic(
+        stem + ".scn",
+        FormatScenario(name, set.value(), spec_.horizon)));
+  }
+  return Status::Ok();
+}
+
+Status Campaign::RunShard(BatchRunner& runner, int shard,
+                          ShardSummary& summary) {
+  const std::string path = ShardPath(options_.out_dir, shard);
+  auto loaded = LoadCheckpoint(path, fingerprint_);
+  if (!loaded.ok()) return loaded.status();
+  summary.torn_bytes = loaded->torn_bytes;
+
+  std::set<std::int64_t> done;
+  for (const JobRecord& record : loaded->records) {
+    done.insert(record.job_id);
+  }
+  const std::vector<CampaignJob> all = spec_.JobsForShard(shard);
+  summary.jobs = static_cast<std::int64_t>(all.size());
+  std::vector<CampaignJob> todo;
+  for (const CampaignJob& job : all) {
+    if (done.count(job.id) == 0) todo.push_back(job);
+  }
+  summary.resumed = summary.jobs - static_cast<std::int64_t>(todo.size());
+
+  // Open even when nothing is left to run: Open() truncates any torn
+  // tail so the file on disk is exactly its valid prefix.
+  CheckpointWriter writer;
+  PCPDA_RETURN_IF_ERROR(writer.Open(path, fingerprint_,
+                                    loaded->valid_bytes, options_.fsync));
+  if (todo.empty()) return writer.Close();
+
+  JobPolicy policy;
+  policy.max_sim_ticks = spec_.effective_max_sim_ticks();
+  policy.wall_budget_ms = spec_.wall_budget_ms;
+  policy.max_retries = spec_.max_retries;
+  // External stop (the CLI's signal flag) wins; otherwise the engine's
+  // own flag serves stop_after and append-failure aborts.
+  policy.stop =
+      options_.stop != nullptr ? options_.stop : &internal_stop_;
+
+  std::mutex io_mu;
+  Status io_status;
+  std::vector<BatchRunner::PolicyTask> tasks;
+  tasks.reserve(todo.size());
+  for (const CampaignJob& job : todo) {
+    tasks.push_back([this, job](const JobContext& context) {
+      return RunJob(job, context);
+    });
+  }
+  const BatchRunner::CompletionHook on_complete =
+      [&](std::size_t i, const JobResult& result) {
+    const JobRecord record = MakeRecord(todo[i], result);
+    Status status = writer.Append(record);
+    if (status.ok() && record.quarantined()) {
+      status = WriteQuarantine(todo[i], record);
+    }
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(io_mu);
+      if (io_status.ok()) io_status = status;
+      // Durability is gone; stop starting new jobs.
+      internal_stop_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (options_.stop_after >= 0 &&
+        completions_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+            options_.stop_after) {
+      internal_stop_.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  const std::vector<JobResult> results =
+      runner.RunTasksWithPolicy(tasks, policy, on_complete);
+  for (const JobResult& result : results) {
+    if (result.outcome != JobOutcome::kSkipped &&
+        result.outcome != JobOutcome::kCancelled) {
+      ++summary.ran;
+    }
+  }
+  PCPDA_RETURN_IF_ERROR(writer.Close());
+  {
+    std::lock_guard<std::mutex> lock(io_mu);
+    return io_status;
+  }
+}
+
+Status Campaign::Finalize(CampaignReport& report) {
+  const std::int64_t num_jobs = spec_.num_jobs();
+  std::vector<std::unique_ptr<JobRecord>> by_id(
+      static_cast<std::size_t>(num_jobs));
+  for (int shard = 0; shard < spec_.shards; ++shard) {
+    auto loaded =
+        LoadCheckpoint(ShardPath(options_.out_dir, shard), fingerprint_);
+    if (!loaded.ok()) return loaded.status();
+    for (JobRecord& record : loaded->records) {
+      if (record.job_id >= num_jobs) continue;  // stale/foreign record
+      auto& slot = by_id[static_cast<std::size_t>(record.job_id)];
+      // Keep the first occurrence: a crash between append and resume can
+      // at worst duplicate a record, and the first one is the one every
+      // earlier merge saw.
+      if (slot == nullptr) {
+        slot = std::make_unique<JobRecord>(std::move(record));
+      }
+    }
+  }
+
+  report.total_jobs = num_jobs;
+  std::vector<std::int64_t> recorded_per_shard(
+      static_cast<std::size_t>(spec_.shards), 0);
+  for (int shard = 0; shard < spec_.shards; ++shard) {
+    const std::int64_t first =
+        spec_.CellBegin(shard) * spec_.num_protocols();
+    const std::int64_t last =
+        spec_.CellBegin(shard + 1) * spec_.num_protocols();
+    std::int64_t ok = 0, failed = 0, quarantined = 0, pending = 0;
+    for (std::int64_t id = first; id < last; ++id) {
+      const JobRecord* record = by_id[static_cast<std::size_t>(id)].get();
+      if (record == nullptr) {
+        ++pending;
+      } else if (record->outcome == "ok") {
+        ++ok;
+      } else if (record->quarantined()) {
+        ++quarantined;
+      } else {
+        ++failed;
+      }
+    }
+    report.ok += ok;
+    report.failed += failed;
+    report.quarantined += quarantined;
+    report.pending += pending;
+    recorded_per_shard[static_cast<std::size_t>(shard)] =
+        (last - first) - pending;
+    for (ShardSummary& summary : report.shards) {
+      if (summary.shard == shard) {
+        summary.ok = ok;
+        summary.failed = failed;
+        summary.quarantined = quarantined;
+        summary.pending = pending;
+      }
+    }
+  }
+
+  report.manifest_path = options_.out_dir + "/MANIFEST.json";
+  PCPDA_RETURN_IF_ERROR(WriteFileAtomic(
+      report.manifest_path, RenderManifest(report, recorded_per_shard)));
+
+  if (report.pending == 0) {
+    std::vector<JobRecord> records;
+    records.reserve(static_cast<std::size_t>(num_jobs));
+    for (auto& slot : by_id) records.push_back(*slot);
+    report.bench_path = options_.out_dir + "/BENCH_campaign.json";
+    PCPDA_RETURN_IF_ERROR(
+        WriteFileAtomic(report.bench_path, RenderBench(records)));
+    report.merged = true;
+  }
+  return Status::Ok();
+}
+
+std::string Campaign::RenderManifest(
+    const CampaignReport& report,
+    const std::vector<std::int64_t>& recorded_per_shard) const {
+  std::vector<std::string> rows;
+  rows.reserve(static_cast<std::size_t>(spec_.shards));
+  for (int shard = 0; shard < spec_.shards; ++shard) {
+    const std::int64_t jobs =
+        (spec_.CellBegin(shard + 1) - spec_.CellBegin(shard)) *
+        spec_.num_protocols();
+    rows.push_back(StrFormat(
+        "    {\"shard\": %d, \"jobs\": %lld, \"recorded\": %lld}", shard,
+        static_cast<long long>(jobs),
+        static_cast<long long>(
+            recorded_per_shard[static_cast<std::size_t>(shard)])));
+  }
+  return StrFormat(
+      "{\n"
+      "  \"campaign\": \"%s\",\n"
+      "  \"jobs\": %lld,\n"
+      "  \"ok\": %lld,\n"
+      "  \"failed\": %lld,\n"
+      "  \"quarantined\": %lld,\n"
+      "  \"pending\": %lld,\n"
+      "  \"stopped\": %s,\n"
+      "  \"complete\": %s,\n"
+      "  \"shards\": [\n%s\n  ]\n"
+      "}\n",
+      fingerprint_.c_str(), static_cast<long long>(report.total_jobs),
+      static_cast<long long>(report.ok),
+      static_cast<long long>(report.failed),
+      static_cast<long long>(report.quarantined),
+      static_cast<long long>(report.pending),
+      report.stopped ? "true" : "false",
+      report.pending == 0 ? "true" : "false",
+      Join(rows, ",\n").c_str());
+}
+
+std::string Campaign::RenderBench(
+    const std::vector<JobRecord>& records) const {
+  std::int64_t ok = 0, failed = 0, quarantined = 0;
+  for (const JobRecord& record : records) {
+    if (record.outcome == "ok") {
+      ++ok;
+    } else if (record.quarantined()) {
+      ++quarantined;
+    } else {
+      ++failed;
+    }
+  }
+
+  // Acceptance table: protocol-major, then the utilization sweep. Every
+  // row aggregates the `scenarios` runs of its (protocol, utilization)
+  // column; failed/quarantined runs count against acceptance but their
+  // metrics are excluded (they are not trustworthy).
+  std::vector<std::string> rows;
+  for (int p = 0; p < spec_.num_protocols(); ++p) {
+    for (int u = 0; u < spec_.num_utils(); ++u) {
+      std::int64_t accepted = 0, row_ok = 0, row_failed = 0;
+      std::int64_t committed = 0, misses = 0, blocking = 0, restarts = 0,
+                   deadlocks = 0;
+      for (int s = 0; s < spec_.scenarios; ++s) {
+        const std::int64_t cell =
+            static_cast<std::int64_t>(s) * spec_.num_utils() + u;
+        const JobRecord& record = records[static_cast<std::size_t>(
+            cell * spec_.num_protocols() + p)];
+        if (record.outcome == "ok") {
+          ++row_ok;
+          if (record.accepted()) ++accepted;
+          committed += record.committed;
+          misses += record.misses;
+          blocking += record.blocking_ticks;
+          restarts += record.restarts;
+          deadlocks += record.deadlocks;
+        } else {
+          ++row_failed;
+        }
+      }
+      rows.push_back(StrFormat(
+          "    {\"protocol\": \"%s\", \"utilization\": %g, "
+          "\"scenarios\": %d, \"accepted\": %lld, \"ratio\": %.6f, "
+          "\"failed\": %lld, \"committed\": %lld, \"misses\": %lld, "
+          "\"blocking_ticks\": %lld, \"restarts\": %lld, "
+          "\"deadlocks\": %lld}",
+          ToString(spec_.protocols[static_cast<std::size_t>(p)]),
+          spec_.utilizations[static_cast<std::size_t>(u)],
+          spec_.scenarios, static_cast<long long>(accepted),
+          static_cast<double>(accepted) /
+              static_cast<double>(spec_.scenarios),
+          static_cast<long long>(row_failed),
+          static_cast<long long>(committed),
+          static_cast<long long>(misses),
+          static_cast<long long>(blocking),
+          static_cast<long long>(restarts),
+          static_cast<long long>(deadlocks)));
+    }
+  }
+
+  // Explicit failure accounting, by job id (deterministic order).
+  std::vector<std::string> failures;
+  for (const JobRecord& record : records) {
+    if (record.outcome == "ok") continue;
+    failures.push_back(StrFormat(
+        "    {\"job\": %lld, \"outcome\": \"%s\", \"quarantined\": %s, "
+        "\"attempts\": %d, \"code\": \"%s\"}",
+        static_cast<long long>(record.job_id), record.outcome.c_str(),
+        record.quarantined() ? "true" : "false", record.attempts,
+        record.code.c_str()));
+  }
+
+  return StrFormat(
+      "{\n"
+      "  \"campaign\": \"%s\",\n"
+      "  \"jobs\": %lld,\n"
+      "  \"ok\": %lld,\n"
+      "  \"failed\": %lld,\n"
+      "  \"quarantined\": %lld,\n"
+      "  \"acceptance\": [\n%s\n  ],\n"
+      "  \"failures\": [%s%s]\n"
+      "}\n",
+      fingerprint_.c_str(),
+      static_cast<long long>(records.size()),
+      static_cast<long long>(ok), static_cast<long long>(failed),
+      static_cast<long long>(quarantined), Join(rows, ",\n").c_str(),
+      failures.empty() ? "" : ("\n" + Join(failures, ",\n")).c_str(),
+      failures.empty() ? "" : "\n  ");
+}
+
+StatusOr<CampaignReport> Campaign::Run() {
+  PCPDA_RETURN_IF_ERROR(spec_.Validate());
+  if (options_.out_dir.empty()) {
+    return Status::InvalidArgument("CampaignOptions.out_dir is required");
+  }
+  if (options_.only_shard >= spec_.shards) {
+    return Status::InvalidArgument(
+        StrFormat("only_shard %d out of range for %d shards",
+                  options_.only_shard, spec_.shards));
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.out_dir, ec);
+  if (ec) {
+    return Status::Internal(StrFormat("mkdir %s: %s",
+                                      options_.out_dir.c_str(),
+                                      ec.message().c_str()));
+  }
+
+  CampaignReport report;
+  report.fingerprint = fingerprint_;
+  BatchRunner runner(BatchOptions{options_.jobs});
+  const int first =
+      options_.only_shard >= 0 ? options_.only_shard : 0;
+  const int last =
+      options_.only_shard >= 0 ? options_.only_shard + 1 : spec_.shards;
+  for (int shard = first; shard < last; ++shard) {
+    if (StopRequested()) break;
+    ShardSummary summary;
+    summary.shard = shard;
+    PCPDA_RETURN_IF_ERROR(RunShard(runner, shard, summary));
+    report.shards.push_back(summary);
+  }
+  report.stopped = StopRequested();
+  PCPDA_RETURN_IF_ERROR(Finalize(report));
+  return report;
+}
+
+}  // namespace pcpda

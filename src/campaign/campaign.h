@@ -1,0 +1,138 @@
+#ifndef PCPDA_CAMPAIGN_CAMPAIGN_H_
+#define PCPDA_CAMPAIGN_CAMPAIGN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.h"
+#include "campaign/spec.h"
+#include "common/status.h"
+#include "runner/batch_runner.h"
+
+namespace pcpda {
+
+/// How a campaign invocation executes its grid; nothing in here affects
+/// job results (that is CampaignSpec's job), so checkpoints written under
+/// different options merge byte-identically.
+struct CampaignOptions {
+  /// Directory for checkpoints, quarantine records, MANIFEST.json and
+  /// BENCH_campaign.json. Created if missing.
+  std::string out_dir;
+  /// Concurrent executors per shard.
+  int jobs = 1;
+  /// fsync every checkpoint append (the crash-safety contract). Tests
+  /// that only exercise logic may turn it off for speed.
+  bool fsync = true;
+  /// Run only this shard (distributed invocations run one shard each);
+  /// -1 runs every shard in sequence. Accounting, the manifest and the
+  /// final merge always cover all shards.
+  int only_shard = -1;
+  /// Graceful-stop flag, typically set by a SIGINT/SIGTERM handler:
+  /// in-flight jobs are cancelled, nothing new starts, the checkpoint is
+  /// already flushed per job, and a partial MANIFEST.json is written.
+  const std::atomic<bool>* stop = nullptr;
+
+  // --- fault injection for the robustness tests ------------------------
+  /// This job id throws on every attempt (exhausts retries, quarantined).
+  std::int64_t inject_crash_job = -1;
+  /// This job id spins until cancelled (trips the watchdog, quarantined).
+  std::int64_t inject_hang_job = -1;
+  /// Trip an internal stop flag after this many completions — a
+  /// deterministic stand-in for SIGINT mid-shard. When set it replaces
+  /// `stop` as the in-flight cancellation source. -1 = off.
+  std::int64_t stop_after = -1;
+};
+
+/// Per-shard accounting for one invocation.
+struct ShardSummary {
+  int shard = 0;
+  std::int64_t jobs = 0;
+  /// Records reused from the checkpoint instead of re-running.
+  std::int64_t resumed = 0;
+  /// Jobs actually executed (and recorded) by this invocation.
+  std::int64_t ran = 0;
+  /// Torn-tail bytes discarded when the checkpoint was loaded.
+  std::int64_t torn_bytes = 0;
+  std::int64_t ok = 0;
+  std::int64_t failed = 0;
+  std::int64_t quarantined = 0;
+  /// Jobs still unrecorded (stop fired, or the shard was not selected).
+  std::int64_t pending = 0;
+};
+
+/// Result of one campaign invocation. ok/failed/quarantined/pending
+/// account for every job of every shard (resumed or not):
+/// ok + failed + quarantined + pending == total_jobs, always.
+struct CampaignReport {
+  std::string fingerprint;
+  std::vector<ShardSummary> shards;
+  std::int64_t total_jobs = 0;
+  std::int64_t ok = 0;
+  std::int64_t failed = 0;
+  std::int64_t quarantined = 0;
+  std::int64_t pending = 0;
+  /// True when a stop request interrupted this invocation.
+  bool stopped = false;
+  /// Every job recorded; BENCH_campaign.json was written.
+  bool merged = false;
+  std::string manifest_path;
+  std::string bench_path;
+};
+
+/// The crash-safe campaign engine. One invocation = load checkpoints,
+/// run what is missing (under the spec's robustness policy), append each
+/// completion durably, then merge if the grid is complete. Killing the
+/// process at any point and re-invoking resumes exactly where the last
+/// durable record left off and produces a BENCH_campaign.json
+/// byte-identical to an uninterrupted run (tests/campaign_test.cc and
+/// the campaign-smoke ctest prove both).
+class Campaign {
+ public:
+  Campaign(CampaignSpec spec, CampaignOptions options);
+
+  /// Runs (or resumes) the campaign. Non-OK only for spec/IO errors;
+  /// job failures are data, reported in the CampaignReport and the
+  /// checkpoint records.
+  StatusOr<CampaignReport> Run();
+
+  /// The checkpoint path of `shard` under `out_dir`.
+  static std::string ShardPath(const std::string& out_dir, int shard);
+
+ private:
+  /// Executes the missing jobs of one shard, appending each completion
+  /// to the shard checkpoint. Fills the summary's resumed/ran/torn
+  /// counters; ok/failed/etc. are recomputed globally by Finalize.
+  Status RunShard(BatchRunner& runner, int shard, ShardSummary& summary);
+  /// Executes one job attempt (or an injected fault).
+  SimResult RunJob(const CampaignJob& job, const JobContext& context);
+  /// Converts a finished JobResult into its checkpoint record.
+  JobRecord MakeRecord(const CampaignJob& job,
+                       const JobResult& result) const;
+  /// Writes quarantine/job_<id>.scn (the offending workload, replayable
+  /// by run_scenario and usable as a fuzzer seed) and .json (the failure
+  /// record).
+  Status WriteQuarantine(const CampaignJob& job, const JobRecord& record);
+  /// Re-reads every shard checkpoint, fills global accounting, writes
+  /// MANIFEST.json and — when complete — BENCH_campaign.json.
+  Status Finalize(CampaignReport& report);
+  /// Renders the merged benchmark report (deterministic byte-for-byte:
+  /// records sorted by job id, fixed key order, no timestamps).
+  std::string RenderBench(const std::vector<JobRecord>& records) const;
+  std::string RenderManifest(
+      const CampaignReport& report,
+      const std::vector<std::int64_t>& recorded_per_shard) const;
+  bool StopRequested() const;
+
+  const CampaignSpec spec_;
+  const CampaignOptions options_;
+  const std::string fingerprint_;
+  /// stop_after's deterministic stop flag (see CampaignOptions).
+  std::atomic<bool> internal_stop_{false};
+  std::atomic<std::int64_t> completions_{0};
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_CAMPAIGN_CAMPAIGN_H_

@@ -1,0 +1,123 @@
+#ifndef PCPDA_CAMPAIGN_CHECKPOINT_H_
+#define PCPDA_CAMPAIGN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pcpda {
+
+/// One completed job, as persisted in a shard checkpoint. This is the
+/// unit of crash safety: a record is either fully on disk (its line ends
+/// in '\n' and decodes) or it never happened. Carries everything the
+/// merge step needs, so resuming never re-runs a recorded job.
+struct JobRecord {
+  std::int64_t job_id = 0;
+  /// ToString(JobOutcome) for ok/failed/timeout. Cancelled and skipped
+  /// jobs are never recorded — resume re-runs them.
+  std::string outcome = "ok";
+  int attempts = 1;
+  /// ToString of the final StatusCode ("Ok" when the job succeeded).
+  std::string code = "Ok";
+  /// Final status message; empty when ok.
+  std::string message;
+  // --- metrics the merge aggregates (zero for failed jobs) -------------
+  std::int64_t released = 0;
+  std::int64_t committed = 0;
+  std::int64_t misses = 0;
+  std::int64_t blocking_ticks = 0;
+  std::int64_t restarts = 0;
+  std::int64_t deadlocks = 0;
+
+  /// Poisoned jobs (captured exception or watchdog timeout) that were
+  /// quarantined rather than merely failed.
+  bool quarantined() const {
+    return outcome == "timeout" ||
+           (outcome == "failed" && code == "Internal");
+  }
+  /// A run that finished clean with every deadline met — the numerator
+  /// of the paper's acceptance ratio.
+  bool accepted() const { return outcome == "ok" && misses == 0; }
+
+  friend bool operator==(const JobRecord&, const JobRecord&) = default;
+};
+
+/// Serializes `record` as one JSON object line (no trailing newline).
+std::string EncodeJobRecord(const JobRecord& record);
+
+/// Strict inverse of EncodeJobRecord: every field must be present and
+/// well-formed, unknown keys are rejected. A checkpoint line that fails
+/// to decode is treated as torn, not skipped.
+StatusOr<JobRecord> DecodeJobRecord(const std::string& line);
+
+/// A shard checkpoint read back from disk.
+struct LoadedCheckpoint {
+  /// Decoded records, in file (= completion) order.
+  std::vector<JobRecord> records;
+  /// Byte length of the valid prefix: header plus every complete record
+  /// line. Anything past it is a torn tail from a crash mid-append.
+  std::int64_t valid_bytes = 0;
+  /// Bytes of torn tail discarded (0 for a clean file).
+  std::int64_t torn_bytes = 0;
+};
+
+/// Loads a shard checkpoint. A missing file is an empty checkpoint. The
+/// first line must be a header whose campaign fingerprint equals
+/// `fingerprint` — resuming a different campaign into this checkpoint is
+/// an error. A trailing partial line (crash mid-write) is reported via
+/// torn_bytes and excluded from records; duplicate job ids keep the
+/// first occurrence (a crash between write and index update can at worst
+/// duplicate, never lose).
+StatusOr<LoadedCheckpoint> LoadCheckpoint(const std::string& path,
+                                          const std::string& fingerprint);
+
+/// Append-only, fsync'd writer for one shard checkpoint. Open() creates
+/// the file with a header line, or — when resuming — truncates it to
+/// `valid_bytes` first so a torn tail can never corrupt the records
+/// appended after it. Append() is thread-safe (the batch completion hook
+/// runs on worker threads) and durable before it returns when fsync is
+/// on.
+class CheckpointWriter {
+ public:
+  CheckpointWriter() = default;
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Opens `path` for appending. `valid_bytes` == 0 (re)writes the file
+  /// from scratch with a fresh header; > 0 keeps the valid prefix of an
+  /// existing checkpoint and drops everything after it.
+  Status Open(const std::string& path, const std::string& fingerprint,
+              std::int64_t valid_bytes, bool fsync);
+
+  /// Appends one record line and (optionally) fsyncs it.
+  Status Append(const JobRecord& record);
+
+  /// Flushes and closes; further Appends fail. Idempotent.
+  Status Close();
+
+ private:
+  /// Appends one line + '\n' and fsyncs. Caller holds mu_.
+  Status AppendLine(const std::string& line);
+
+  std::mutex mu_;
+  int fd_ = -1;
+  bool fsync_ = true;
+  std::string path_;
+};
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, fsync, rename over the target, fsync the directory. Readers
+/// see either the old file or the new one, never a prefix.
+Status WriteFileAtomic(const std::string& path,
+                       const std::string& contents);
+
+/// Reads a whole file ("" for empty). NotFound when it does not exist.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace pcpda
+
+#endif  // PCPDA_CAMPAIGN_CHECKPOINT_H_

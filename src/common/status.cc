@@ -18,6 +18,8 @@ const char* ToString(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -19,6 +19,9 @@ enum class StatusCode {
   kOutOfRange,
   kAlreadyExists,
   kInternal,
+  /// A time or tick budget ran out before the operation finished (the
+  /// runner's per-job watchdog; a partial result is not trustworthy).
+  kDeadlineExceeded,
 };
 
 const char* ToString(StatusCode code);
@@ -49,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

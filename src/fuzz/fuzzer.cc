@@ -105,12 +105,136 @@ StatusOr<Scenario> ScenarioFuzzer::MakeScenario(int iteration) const {
   return scenario;
 }
 
+bool ScenarioFuzzer::CheckScenario(BatchRunner& runner,
+                                   const Scenario& scenario, int iteration,
+                                   std::uint64_t scenario_seed,
+                                   FuzzReport& report) {
+  const auto budget_spent = [&] {
+    return static_cast<int>(report.findings.size()) >=
+           options_.max_findings;
+  };
+
+  if (options_.lint) {
+    const LintReport lint = LintScenario(scenario, LintFilterOptions());
+    if (!lint.clean()) {
+      // The scenario is statically invalid: for generated scenarios a
+      // disagreement between the generator's and the analyzer's validity
+      // definitions, for replayed files a stale or corrupt corpus entry.
+      // Simulating it would test nothing, so report and move on.
+      FuzzFinding finding;
+      finding.iteration = iteration;
+      finding.scenario_seed = scenario_seed;
+      finding.failure = OracleFailure{
+          "lint", "",
+          StrFormat("%d lint error(s): %s", lint.errors(),
+                    lint.diagnostics.front().message.c_str())};
+      finding.original_text = FormatScenario(scenario);
+      finding.minimal_text = finding.original_text;
+      report.findings.push_back(std::move(finding));
+      return budget_spent();
+    }
+  }
+
+  const std::vector<RunSpec> plan =
+      PlanOracleRuns(scenario, options_.oracles);
+  const std::vector<SimResult> results = runner.Run(plan);
+  const OracleVerdict verdict =
+      EvaluateOracleRuns(scenario, options_.oracles, results);
+  if (verdict.ok()) return false;
+
+  FuzzFinding finding;
+  finding.iteration = iteration;
+  finding.scenario_seed = scenario_seed;
+  finding.failure = verdict.failures.front();
+  finding.original_text = FormatScenario(scenario);
+
+  const ShrinkResult shrunk = Shrink(scenario, options_.oracles,
+                                     finding.failure, options_.shrink);
+  finding.shrunk = shrunk.reproduced;
+  finding.shrink_evals = shrunk.evals;
+  finding.minimal_text =
+      shrunk.reproduced ? shrunk.scn_text : finding.original_text;
+
+  if (!options_.corpus_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.corpus_dir, ec);
+    const std::string path =
+        options_.corpus_dir + "/" + CorpusFileName(finding);
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good()) {
+      report.io_status =
+          Status::Internal("cannot write corpus file: " + path);
+    } else {
+      out << "# fuzz finding: " << finding.failure.DebugString() << "\n";
+      out << StrFormat("# campaign seed=%llu iteration=%d "
+                       "scenario_seed=%016llx shrink_evals=%d\n",
+                       static_cast<unsigned long long>(options_.seed),
+                       iteration,
+                       static_cast<unsigned long long>(
+                           finding.scenario_seed),
+                       finding.shrink_evals);
+      out << finding.minimal_text;
+      finding.corpus_file = path;
+    }
+  }
+
+  report.findings.push_back(std::move(finding));
+  return budget_spent();
+}
+
+bool ScenarioFuzzer::ReplayCorpus(BatchRunner& runner,
+                                  FuzzReport& report) {
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.replay_dir, ec)) {
+    if (entry.path().extension() == ".scn") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    report.io_status = Status::Internal(
+        StrFormat("cannot read replay dir %s: %s",
+                  options_.replay_dir.c_str(), ec.message().c_str()));
+    return false;
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    auto scenario = LoadScenarioFile(path);
+    if (!scenario.ok()) {
+      // A replay file that no longer parses is itself a finding: the
+      // corpus and the parser have drifted apart.
+      FuzzFinding finding;
+      finding.iteration = -1;
+      finding.failure = OracleFailure{
+          "replay-load", "",
+          path + ": " + scenario.status().ToString()};
+      report.findings.push_back(std::move(finding));
+    } else {
+      ++report.replayed;
+      if (CheckScenario(runner, *scenario, -1, 0, report)) return true;
+    }
+    if (static_cast<int>(report.findings.size()) >=
+        options_.max_findings) {
+      return true;
+    }
+  }
+  return false;
+}
+
 FuzzReport ScenarioFuzzer::Run() {
   FuzzReport report;
   // One pool for the whole campaign: every iteration's protocol fan-out
   // (8 protocols x 2 runs under the determinism oracle) is one batch.
   // Shrinking stays serial — it is a sequential search by nature.
   BatchRunner runner(BatchOptions{options_.jobs});
+
+  // Replayed corpus/quarantine scenarios run first: known-bad inputs are
+  // the cheapest place to find a regression.
+  if (!options_.replay_dir.empty() && ReplayCorpus(runner, report)) {
+    return report;
+  }
+
   for (int iteration = 0; iteration < options_.iterations; ++iteration) {
     report.iterations = iteration + 1;
     auto scenario = MakeScenario(iteration);
@@ -131,78 +255,8 @@ FuzzReport ScenarioFuzzer::Run() {
     }
     if (scenario->faults.enabled()) ++report.scenarios_with_faults;
 
-    if (options_.lint) {
-      const LintReport lint =
-          LintScenario(*scenario, LintFilterOptions());
-      if (!lint.clean()) {
-        // The generator produced something the static analyzer proves
-        // invalid: a disagreement between the two validity definitions.
-        // Simulating it would test nothing, so report and move on.
-        FuzzFinding finding;
-        finding.iteration = iteration;
-        finding.scenario_seed = MixSeed(options_.seed, iteration);
-        finding.failure = OracleFailure{
-            "lint", "",
-            StrFormat("%d lint error(s): %s", lint.errors(),
-                      lint.diagnostics.front().message.c_str())};
-        finding.original_text = FormatScenario(*scenario);
-        finding.minimal_text = finding.original_text;
-        report.findings.push_back(std::move(finding));
-        if (static_cast<int>(report.findings.size()) >=
-            options_.max_findings) {
-          break;
-        }
-        continue;
-      }
-    }
-
-    const std::vector<RunSpec> plan =
-        PlanOracleRuns(*scenario, options_.oracles);
-    const std::vector<SimResult> results = runner.Run(plan);
-    const OracleVerdict verdict =
-        EvaluateOracleRuns(*scenario, options_.oracles, results);
-    if (verdict.ok()) continue;
-
-    FuzzFinding finding;
-    finding.iteration = iteration;
-    finding.scenario_seed = MixSeed(options_.seed, iteration);
-    finding.failure = verdict.failures.front();
-    finding.original_text = FormatScenario(*scenario);
-
-    const ShrinkResult shrunk = Shrink(*scenario, options_.oracles,
-                                       finding.failure, options_.shrink);
-    finding.shrunk = shrunk.reproduced;
-    finding.shrink_evals = shrunk.evals;
-    finding.minimal_text =
-        shrunk.reproduced ? shrunk.scn_text : finding.original_text;
-
-    if (!options_.corpus_dir.empty()) {
-      std::error_code ec;
-      std::filesystem::create_directories(options_.corpus_dir, ec);
-      const std::string path =
-          options_.corpus_dir + "/" + CorpusFileName(finding);
-      std::ofstream out(path, std::ios::binary);
-      if (!out.good()) {
-        report.io_status =
-            Status::Internal("cannot write corpus file: " + path);
-      } else {
-        out << "# fuzz finding: " << finding.failure.DebugString()
-            << "\n";
-        out << StrFormat("# campaign seed=%llu iteration=%d "
-                         "scenario_seed=%016llx shrink_evals=%d\n",
-                         static_cast<unsigned long long>(options_.seed),
-                         iteration,
-                         static_cast<unsigned long long>(
-                             finding.scenario_seed),
-                         finding.shrink_evals);
-        out << finding.minimal_text;
-        finding.corpus_file = path;
-      }
-    }
-
-    report.findings.push_back(std::move(finding));
-    if (static_cast<int>(report.findings.size()) >=
-        options_.max_findings) {
+    if (CheckScenario(runner, *scenario, iteration,
+                      MixSeed(options_.seed, iteration), report)) {
       break;
     }
   }
@@ -212,8 +266,10 @@ FuzzReport ScenarioFuzzer::Run() {
 std::string FuzzReport::Summary() const {
   std::vector<std::string> lines;
   lines.push_back(StrFormat(
-      "%d iteration(s), %d with fault plans: %zu finding(s)", iterations,
-      scenarios_with_faults, findings.size()));
+      "%d iteration(s), %d with fault plans%s: %zu finding(s)",
+      iterations, scenarios_with_faults,
+      replayed > 0 ? StrFormat(", %d replayed", replayed).c_str() : "",
+      findings.size()));
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const FuzzFinding& finding = findings[i];
     lines.push_back(StrFormat(

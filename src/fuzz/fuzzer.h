@@ -11,6 +11,8 @@
 
 namespace pcpda {
 
+class BatchRunner;
+
 /// Configuration of one differential fuzzing campaign. Everything is
 /// derived from `seed`, so a campaign is reproducible from a single
 /// uint64: the same seed and iteration count always generate the same
@@ -40,6 +42,12 @@ struct FuzzOptions {
   /// Directory crash repros are serialized into (created on demand);
   /// empty keeps findings in memory only.
   std::string corpus_dir;
+  /// Directory of .scn files replayed through the oracle stack before
+  /// the generated campaign — the bridge from the campaign engine's
+  /// quarantine records (and earlier corpus dirs) back into the fuzzer:
+  /// a poisoned scenario becomes a shrinker seed. Files are taken in
+  /// sorted order; empty replays nothing.
+  std::string replay_dir;
 };
 
 /// One oracle failure, minimized.
@@ -65,6 +73,8 @@ struct FuzzFinding {
 struct FuzzReport {
   int iterations = 0;
   int scenarios_with_faults = 0;
+  /// Scenario files replayed from FuzzOptions.replay_dir.
+  int replayed = 0;
   std::vector<FuzzFinding> findings;
   /// Non-OK when corpus files could not be written.
   Status io_status;
@@ -89,6 +99,16 @@ class ScenarioFuzzer {
   FuzzReport Run();
 
  private:
+  /// Lints `scenario`, runs the oracle stack, shrinks and records any
+  /// finding. `iteration` is the campaign iteration (-1 for replayed
+  /// files). Returns true when the findings budget is exhausted.
+  bool CheckScenario(BatchRunner& runner, const Scenario& scenario,
+                     int iteration, std::uint64_t scenario_seed,
+                     FuzzReport& report);
+  /// Replays every .scn in options_.replay_dir (sorted) through
+  /// CheckScenario. Returns true when the findings budget is exhausted.
+  bool ReplayCorpus(BatchRunner& runner, FuzzReport& report);
+
   FuzzOptions options_;
 };
 

@@ -33,6 +33,13 @@ const char* ToString(ProtocolKind kind) {
   return "unknown";
 }
 
+std::optional<ProtocolKind> ProtocolKindByName(const std::string& name) {
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    if (name == ToString(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 std::vector<ProtocolKind> AllProtocolKinds() {
   return {ProtocolKind::kPcpDa,   ProtocolKind::kRwPcp,
           ProtocolKind::kCcp,     ProtocolKind::kOpcp,

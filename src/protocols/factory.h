@@ -2,6 +2,8 @@
 #define PCPDA_PROTOCOLS_FACTORY_H_
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "protocols/protocol.h"
@@ -22,6 +24,10 @@ enum class ProtocolKind : std::uint8_t {
 };
 
 const char* ToString(ProtocolKind kind);
+
+/// Inverse of ToString (exact match, e.g. "PCP-DA", "2PL-HP");
+/// nullopt for unknown names.
+std::optional<ProtocolKind> ProtocolKindByName(const std::string& name);
 
 /// All protocol kinds, PCP-DA first.
 std::vector<ProtocolKind> AllProtocolKinds();

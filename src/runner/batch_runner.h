@@ -1,13 +1,16 @@
 #ifndef PCPDA_RUNNER_BATCH_RUNNER_H_
 #define PCPDA_RUNNER_BATCH_RUNNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/pcp_da.h"
 #include "protocols/factory.h"
 #include "runner/executor_pool.h"
+#include "runner/watchdog.h"
 #include "sched/simulator.h"
 #include "workload/scenario.h"
 
@@ -38,6 +41,70 @@ struct BatchOptions {
   int jobs = 1;
 };
 
+/// How one job of a policy batch ended.
+enum class JobOutcome : std::uint8_t {
+  /// The job ran to completion with an OK status.
+  kOk,
+  /// The job ran (possibly more than once) and ended with a non-OK
+  /// status: a config rejection, an audit failure, or a captured
+  /// exception.
+  kFailed,
+  /// A watchdog budget (wall-clock or tick) expired and the job was
+  /// abandoned.
+  kTimeout,
+  /// The stop flag fired while the job was in flight; it was abandoned
+  /// and should be re-run on resume.
+  kCancelled,
+  /// The stop flag fired before the job started; it never ran.
+  kSkipped,
+};
+
+const char* ToString(JobOutcome outcome);
+
+/// Result of one job under a JobPolicy.
+struct JobResult {
+  SimResult result;
+  JobOutcome outcome = JobOutcome::kSkipped;
+  /// Attempts actually made (0 for skipped jobs, > 1 after retries).
+  int attempts = 0;
+};
+
+/// Per-job robustness policy for RunWithPolicy/RunTasksWithPolicy.
+struct JobPolicy {
+  /// Deterministic watchdog: per-attempt budget of scheduled simulator
+  /// ticks (SimulatorOptions::max_sim_ticks); 0 = unlimited. Outcomes
+  /// depend only on the job's inputs, so this is the budget of choice
+  /// when resumed campaigns must merge byte-identically.
+  Tick max_sim_ticks = 0;
+  /// Wall-clock watchdog: per-attempt budget in milliseconds enforced by
+  /// a monitor thread through cooperative cancellation; 0 = unlimited.
+  /// Nondeterministic by nature — the backstop for genuine hangs.
+  int wall_budget_ms = 0;
+  /// Bounded retry for transient failures: a job whose attempt ends in a
+  /// captured exception (kInternal) is re-run up to this many extra
+  /// times before being reported as kFailed. Deterministic failures fail
+  /// every attempt and come out identical; a flake that passes on retry
+  /// is reclassified as OK with attempts > 1.
+  int max_retries = 0;
+  /// Graceful stop (SIGINT/SIGTERM): when the pointed-at flag becomes
+  /// true, jobs not yet started are skipped and in-flight jobs are
+  /// cancelled through the watchdog. Null never stops.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// What a policy task sees about its own attempt.
+struct JobContext {
+  /// 0-based attempt number.
+  int attempt = 0;
+  /// The attempt's cancel flag; long-running bodies should poll it (the
+  /// simulator does, once per tick, via SimulatorOptions::cancel).
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+};
+
 /// Executes batches of independent simulations on an ExecutorPool and
 /// collects results in submission order — bit-identical to the serial
 /// loop by construction: every job's inputs (scenario, protocol, fault
@@ -45,8 +112,20 @@ struct BatchOptions {
 /// state shared with any other job, and slot i of the result vector
 /// belongs to job i alone. See DESIGN.md §10 for why determinism
 /// survives work stealing.
+///
+/// Exception safety: a job body that throws never escapes the batch — the
+/// exception is captured on the worker that ran it and surfaced as that
+/// job's failed status (kInternal with the message), leaving every other
+/// job's result intact.
 class BatchRunner {
  public:
+  using PolicyTask = std::function<SimResult(const JobContext&)>;
+  /// Invoked on the executing worker immediately after a job's policy
+  /// resolves (all retries done), before the batch returns — the hook
+  /// campaigns use to checkpoint completed jobs crash-safely.
+  using CompletionHook =
+      std::function<void(std::size_t index, const JobResult& job)>;
+
   explicit BatchRunner(BatchOptions options = {});
 
   int jobs() const { return pool_.threads(); }
@@ -54,7 +133,8 @@ class BatchRunner {
   /// Runs one spec serially — the unit the batch fans out.
   static SimResult RunOne(const RunSpec& spec);
 
-  /// Runs all specs, returning results in spec order.
+  /// Runs all specs, returning results in spec order. A spec whose run
+  /// throws yields a kInternal status for that slot only.
   std::vector<SimResult> Run(const std::vector<RunSpec>& specs);
 
   /// Generic escape hatch for jobs that are not plain spec runs: executes
@@ -63,11 +143,34 @@ class BatchRunner {
   std::vector<SimResult> RunTasks(
       const std::vector<std::function<SimResult()>>& tasks);
 
+  /// Runs all specs under a robustness policy: per-attempt watchdogs
+  /// (tick and wall-clock), bounded retry of transiently failing jobs,
+  /// and graceful stop. Results come back in spec order regardless of
+  /// stealing; `on_complete` (optional) fires once per non-skipped job.
+  std::vector<JobResult> RunWithPolicy(
+      const std::vector<RunSpec>& specs, const JobPolicy& policy,
+      const CompletionHook& on_complete = nullptr);
+
+  /// Same policy treatment for caller-supplied bodies (the campaign
+  /// engine generates its workload inside the task). The task must poll
+  /// JobContext::cancelled() at safe points if it can run long.
+  std::vector<JobResult> RunTasksWithPolicy(
+      const std::vector<PolicyTask>& tasks, const JobPolicy& policy,
+      const CompletionHook& on_complete = nullptr);
+
   /// The underlying pool, for analysis-only fan-outs.
   ExecutorPool& pool() { return pool_; }
 
  private:
+  /// Runs one task under the policy (watchdog + retries) and classifies
+  /// the outcome.
+  JobResult RunOnePolicy(const PolicyTask& task, const JobPolicy& policy);
+  /// The watchdog monitor, started on first use.
+  Watchdog& watchdog();
+
   ExecutorPool pool_;
+  std::unique_ptr<Watchdog> watchdog_;  // lazy; guarded by watchdog_mu_
+  std::mutex watchdog_mu_;
 };
 
 }  // namespace pcpda

@@ -1,0 +1,82 @@
+#include "runner/watchdog.h"
+
+#include <vector>
+
+namespace pcpda {
+
+Watchdog::Watchdog(std::chrono::milliseconds resolution)
+    : resolution_(resolution.count() > 0 ? resolution
+                                         : std::chrono::milliseconds(1)),
+      monitor_([this] { Loop(); }) {}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+void Watchdog::SetStopSource(const std::atomic<bool>* stop) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_source_ = stop;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t Watchdog::Arm(std::atomic<bool>* flag,
+                            std::chrono::milliseconds budget) {
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket = next_ticket_++;
+    Entry entry;
+    entry.flag = flag;
+    entry.deadline = budget.count() > 0
+                         ? std::chrono::steady_clock::now() + budget
+                         : std::chrono::steady_clock::time_point::max();
+    armed_.emplace(ticket, entry);
+  }
+  cv_.notify_all();
+  return ticket;
+}
+
+void Watchdog::Disarm(std::uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(ticket);
+}
+
+void Watchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutdown_) return;
+    if (armed_.empty()) {
+      // Nothing armed: sleep until there is, costing nothing per batch
+      // that never arms a deadline.
+      cv_.wait(lock,
+               [this] { return shutdown_ || !armed_.empty(); });
+      continue;
+    }
+    // The stop source has no edge to wait on (plain atomic, typically
+    // set from a signal handler), so poll at the resolution while
+    // anything is armed.
+    cv_.wait_for(lock, resolution_);
+    if (shutdown_) return;
+    const bool stop =
+        stop_source_ != nullptr &&
+        stop_source_->load(std::memory_order_relaxed);
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = armed_.begin(); it != armed_.end();) {
+      if (stop || now >= it->second.deadline) {
+        it->second.flag->store(true, std::memory_order_relaxed);
+        it = armed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace pcpda

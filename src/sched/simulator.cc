@@ -734,7 +734,27 @@ SimResult Simulator::Run() {
       fault_plan_ == nullptr && auditor_ == nullptr;
 
   tick_ = 0;
+  Status watchdog_status;
+  Tick scheduled_ticks = 0;
   while (tick_ < options_.horizon && !halted_) {
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      watchdog_status = Status::DeadlineExceeded(StrFormat(
+          "run cancelled at tick %lld of %lld",
+          static_cast<long long>(tick_),
+          static_cast<long long>(options_.horizon)));
+      break;
+    }
+    if (options_.max_sim_ticks > 0 &&
+        scheduled_ticks >= options_.max_sim_ticks) {
+      watchdog_status = Status::DeadlineExceeded(StrFormat(
+          "tick budget %lld exhausted at tick %lld of %lld",
+          static_cast<long long>(options_.max_sim_ticks),
+          static_cast<long long>(tick_),
+          static_cast<long long>(options_.horizon)));
+      break;
+    }
+    ++scheduled_ticks;
     retired_this_tick_.clear();
     ReleaseArrivals();
     CheckDeadlines();
@@ -799,6 +819,9 @@ SimResult Simulator::Run() {
           result.audit.violations.front().DebugString().c_str()));
     }
   }
+  // A watchdog abandonment trumps everything else: the run never reached
+  // the horizon, so neither the metrics nor the audit verdict is final.
+  if (!watchdog_status.ok()) result.status = watchdog_status;
   return result;
 }
 

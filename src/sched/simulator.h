@@ -1,6 +1,7 @@
 #ifndef PCPDA_SCHED_SIMULATOR_H_
 #define PCPDA_SCHED_SIMULATOR_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -74,6 +75,18 @@ struct SimulatorOptions {
   /// memory. 0 (default) keeps everything. Dropped counts are reported by
   /// Trace::dropped_events()/dropped_ticks().
   std::size_t max_trace_events = 0;
+  /// Cooperative cancellation: checked once per scheduled tick. When the
+  /// pointed-at flag becomes true (a wall-clock watchdog, a SIGINT
+  /// handler), the run stops at the next tick boundary and returns
+  /// kDeadlineExceeded — the partial metrics are not trustworthy. Null
+  /// (default) never cancels; must outlive Run().
+  const std::atomic<bool>* cancel = nullptr;
+  /// Deterministic watchdog: abandon the run with kDeadlineExceeded after
+  /// this many scheduled (non-fast-forwarded) ticks, independent of the
+  /// horizon. 0 (default) is unlimited. Unlike `cancel`, the outcome
+  /// depends only on the inputs, so campaigns that rely on byte-identical
+  /// resume use this budget as the primary hang guard.
+  Tick max_sim_ticks = 0;
 };
 
 /// Outcome of one run.

@@ -7,6 +7,54 @@
 #include "common/strings.h"
 
 namespace pcpda {
+namespace {
+
+/// Nudges `u` so it sums to `total` while keeping every entry inside
+/// [lo, hi]: the deficit (or surplus) is spread proportionally to each
+/// entry's remaining headroom, which is exact in one pass when the target
+/// is feasible; the loop only mops up float round-off.
+void ProjectToSum(std::vector<double>& u, double total, double lo,
+                  double hi) {
+  for (int round = 0; round < 8; ++round) {
+    double sum = 0.0;
+    for (double v : u) sum += v;
+    const double delta = total - sum;
+    if (std::abs(delta) < 1e-12) return;
+    double headroom = 0.0;
+    for (double v : u) headroom += delta > 0.0 ? hi - v : v - lo;
+    if (headroom <= 0.0) return;
+    for (double& v : u) {
+      const double share = delta > 0.0 ? hi - v : v - lo;
+      v += delta * share / headroom;
+      v = std::clamp(v, lo, hi);
+    }
+  }
+}
+
+}  // namespace
+
+const char* ToString(UtilDistribution distribution) {
+  switch (distribution) {
+    case UtilDistribution::kUUniFast:
+      return "uunifast";
+    case UtilDistribution::kRandFixedSum:
+      return "randfixedsum";
+    case UtilDistribution::kExponential:
+      return "exponential";
+    case UtilDistribution::kBimodal:
+      return "bimodal";
+  }
+  return "unknown";
+}
+
+std::optional<UtilDistribution> UtilDistributionByName(
+    const std::string& name) {
+  if (name == "uunifast") return UtilDistribution::kUUniFast;
+  if (name == "randfixedsum") return UtilDistribution::kRandFixedSum;
+  if (name == "exponential") return UtilDistribution::kExponential;
+  if (name == "bimodal") return UtilDistribution::kBimodal;
+  return std::nullopt;
+}
 
 std::vector<double> UUniFast(int n, double total, Rng& rng) {
   PCPDA_CHECK(n >= 1);
@@ -22,6 +70,49 @@ std::vector<double> UUniFast(int n, double total, Rng& rng) {
   }
   utilizations.push_back(remaining);
   return utilizations;
+}
+
+std::vector<double> SampleUtilizations(int n, double total,
+                                       const WorkloadParams& params,
+                                       Rng& rng) {
+  PCPDA_CHECK(n >= 1);
+  if (params.distribution == UtilDistribution::kUUniFast) {
+    return UUniFast(n, total, rng);
+  }
+  const double lo = params.min_task_utilization;
+  const double hi = params.max_task_utilization;
+  std::vector<double> u;
+  u.reserve(static_cast<std::size_t>(n));
+  switch (params.distribution) {
+    case UtilDistribution::kUUniFast:
+      break;  // handled above
+    case UtilDistribution::kRandFixedSum:
+      for (int i = 0; i < n; ++i) u.push_back(rng.UniformRange(lo, hi));
+      break;
+    case UtilDistribution::kExponential:
+      for (int i = 0; i < n; ++i) {
+        const double draw = -params.exp_mean_utilization *
+                            std::log(1.0 - rng.UniformDouble());
+        u.push_back(std::clamp(draw, lo, hi));
+      }
+      break;
+    case UtilDistribution::kBimodal: {
+      const double split = std::clamp(params.bimodal_split, lo, hi);
+      for (int i = 0; i < n; ++i) {
+        const bool light = rng.Bernoulli(params.bimodal_light_fraction);
+        if (light && split > lo) {
+          u.push_back(rng.UniformRange(lo, split));
+        } else if (split < hi) {
+          u.push_back(rng.UniformRange(split, hi));
+        } else {
+          u.push_back(hi);
+        }
+      }
+      break;
+    }
+  }
+  ProjectToSum(u, total, lo, hi);
+  return u;
 }
 
 StatusOr<TransactionSet> GenerateWorkload(const WorkloadParams& params,
@@ -69,9 +160,34 @@ StatusOr<TransactionSet> GenerateWorkload(const WorkloadParams& params,
         StrFormat("write_fraction must be in [0, 1], got %g",
                   params.write_fraction));
   }
+  if (params.distribution != UtilDistribution::kUUniFast) {
+    const double lo = params.min_task_utilization;
+    const double hi = params.max_task_utilization;
+    if (!(lo >= 0.0 && lo < hi && hi <= 1.0)) {
+      return Status::InvalidArgument(StrFormat(
+          "task-utilization bounds must satisfy 0 <= min < max <= 1, "
+          "got [%g, %g]",
+          lo, hi));
+    }
+    const double n = static_cast<double>(params.num_transactions);
+    if (params.total_utilization < n * lo ||
+        params.total_utilization > n * hi) {
+      return Status::InvalidArgument(StrFormat(
+          "total_utilization %g is infeasible for %d tasks bounded to "
+          "[%g, %g] under the %s distribution",
+          params.total_utilization, params.num_transactions, lo, hi,
+          ToString(params.distribution)));
+    }
+    if (params.distribution == UtilDistribution::kExponential &&
+        params.exp_mean_utilization <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("exp_mean_utilization must be > 0, got %g",
+                    params.exp_mean_utilization));
+    }
+  }
 
-  const std::vector<double> utilizations =
-      UUniFast(params.num_transactions, params.total_utilization, rng);
+  const std::vector<double> utilizations = SampleUtilizations(
+      params.num_transactions, params.total_utilization, params, rng);
 
   std::vector<TransactionSpec> specs;
   specs.reserve(static_cast<std::size_t>(params.num_transactions));

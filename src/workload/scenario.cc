@@ -529,10 +529,44 @@ std::string FormatScenario(const std::string& name,
   return Join(lines, "\n") + "\n";
 }
 
+namespace {
+/// Renders the `faults ... end` block of `scenario`.
+std::string FormatFaults(const Scenario& scenario);
+}  // namespace
+
 std::string FormatScenario(const Scenario& scenario) {
   std::string out =
       FormatScenario(scenario.name, scenario.set, scenario.horizon);
-  if (!scenario.faults.enabled()) return out;
+  if (scenario.faults.enabled()) {
+    out += FormatFaults(scenario);
+  }
+  if (!scenario.expects.empty()) {
+    std::vector<std::string> lines;
+    lines.push_back("expect");
+    for (const CeilingExpectation& expect : scenario.expects) {
+      // The set half of the file renames items to d<id>, so expectation
+      // item names must follow; a name the scenario never resolved (a
+      // dangling reference the linter flags) is kept verbatim so the
+      // diagnostic survives the round trip. Txn names are emitted
+      // unchanged ("dummy" included — it means "no ceiling").
+      const auto it = scenario.items.find(expect.item);
+      const std::string item =
+          it != scenario.items.end()
+              ? StrFormat("d%d", it->second)
+              : expect.item;
+      lines.push_back(StrFormat(
+          "  %s %s %s", expect.write_ceiling ? "wceil" : "aceil",
+          item.c_str(), expect.txn.c_str()));
+    }
+    lines.push_back("end");
+    out += Join(lines, "\n") + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatFaults(const Scenario& scenario) {
   std::vector<std::string> lines;
   lines.push_back(StrFormat(
       "faults seed=%llu",
@@ -563,7 +597,9 @@ std::string FormatScenario(const Scenario& scenario) {
     lines.push_back(std::move(line));
   }
   lines.push_back("end");
-  return out + Join(lines, "\n") + "\n";
+  return Join(lines, "\n") + "\n";
 }
+
+}  // namespace
 
 }  // namespace pcpda

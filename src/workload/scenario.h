@@ -65,8 +65,9 @@ struct Scenario {
   /// Fault plan from the `faults ... end` block; empty when absent.
   FaultConfig faults;
   /// Ceiling assertions from `expect` blocks, in declaration order.
-  /// Checked by the linter, ignored by the simulator; FormatScenario
-  /// does not round-trip them (like comments, they annotate a file).
+  /// Checked by the linter, ignored by the simulator; the Scenario
+  /// overload of FormatScenario round-trips them (item names mapped to
+  /// the d<id> names the formatter emits).
   std::vector<CeilingExpectation> expects;
   /// Source spans for diagnostics; empty when built in memory.
   ScenarioSpans spans;
@@ -110,7 +111,9 @@ StatusOr<Scenario> LoadScenarioFile(const std::string& path);
 std::string FormatScenario(const std::string& name,
                            const TransactionSet& set, Tick horizon);
 
-/// Same, for a full scenario: appends the `faults` block when present.
+/// Same, for a full scenario: appends the `faults` and `expect` blocks
+/// when present (expectation item names are mapped to the d<id> names
+/// the formatter emits; unresolved names are kept verbatim).
 std::string FormatScenario(const Scenario& scenario);
 
 }  // namespace pcpda

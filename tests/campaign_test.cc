@@ -1,0 +1,506 @@
+// Tests for the crash-safe campaign engine (src/campaign/): grid
+// indexing and shard partitioning, the checkpoint record codec and its
+// torn-tail handling, fingerprint guarding, and end-to-end campaigns —
+// byte-identical merges across shard layouts, resume after a torn
+// checkpoint, quarantine of crashing/hanging jobs, and graceful stop
+// with partial results.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/checkpoint.h"
+#include "campaign/spec.h"
+#include "common/rng.h"
+
+namespace pcpda {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path TestDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("campaign_" + name);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// A 3-scenario x 2-util x 2-protocol grid (12 jobs) that runs in well
+/// under a second — small enough for end-to-end campaigns in unit tests.
+CampaignSpec SmallSpec() {
+  CampaignSpec spec;
+  spec.base_seed = 7;
+  spec.scenarios = 3;
+  spec.utilizations = {0.3, 0.6};
+  spec.protocols = {ProtocolKind::kPcpDa, ProtocolKind::kOpcp};
+  spec.horizon = 300;
+  spec.max_retries = 1;
+  spec.workload.num_transactions = 4;
+  spec.workload.num_items = 8;
+  return spec;
+}
+
+CampaignOptions DirOptions(const fs::path& dir, int jobs = 2) {
+  CampaignOptions options;
+  options.out_dir = dir.string();
+  options.jobs = jobs;
+  options.fsync = false;  // logic tests; durability is the smoke test's job
+  return options;
+}
+
+std::string MustRead(const fs::path& path) {
+  auto contents = ReadFileToString(path.string());
+  EXPECT_TRUE(contents.ok()) << path << ": " << contents.status().ToString();
+  return contents.ok() ? *contents : std::string();
+}
+
+/// The BENCH bytes of an uninterrupted single-shard run of SmallSpec(),
+/// computed once — the golden value every resume/reshard test compares
+/// against.
+const std::string& ReferenceBench() {
+  static const std::string* bench = [] {
+    // Per-process dir: ctest runs each test in its own process, and
+    // parallel processes must not share (and remove_all) one directory.
+    const fs::path dir =
+        TestDir("reference_" + std::to_string(::getpid()));
+    Campaign campaign(SmallSpec(), DirOptions(dir));
+    auto report = campaign.Run();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->merged);
+    return new std::string(MustRead(dir / "BENCH_campaign.json"));
+  }();
+  return *bench;
+}
+
+JobRecord SampleRecord() {
+  JobRecord record;
+  record.job_id = 42;
+  record.outcome = "ok";
+  record.attempts = 2;
+  record.code = "Ok";
+  record.message = "";
+  record.released = 30;
+  record.committed = 28;
+  record.misses = 1;
+  record.blocking_ticks = 17;
+  record.restarts = 3;
+  record.deadlocks = 1;
+  return record;
+}
+
+// --- CampaignSpec: grid indexing and sharding ------------------------------
+
+TEST(CampaignSpecTest, ShardsPartitionTheGridExactlyOnceInIdOrder) {
+  CampaignSpec spec = SmallSpec();
+  spec.scenarios = 5;
+  spec.utilizations = {0.2, 0.4, 0.6};
+  spec.shards = 4;  // 15 cells over 4 shards: uneven split
+  ASSERT_TRUE(spec.Validate().ok());
+
+  std::int64_t next_id = 0;
+  for (int shard = 0; shard < spec.shards; ++shard) {
+    ASSERT_EQ(spec.CellBegin(shard) * spec.num_protocols(), next_id);
+    for (const CampaignJob& job : spec.JobsForShard(shard)) {
+      EXPECT_EQ(job.id, next_id) << "shard " << shard;
+      ++next_id;
+    }
+    // Shards own whole cells: every protocol of a cell lands together.
+    EXPECT_EQ(next_id % spec.num_protocols(), 0);
+  }
+  EXPECT_EQ(next_id, spec.num_jobs());
+  EXPECT_EQ(spec.CellBegin(spec.shards), spec.num_cells());
+}
+
+TEST(CampaignSpecTest, JobByIdMatchesEnumerationAndSeedsPerCell) {
+  const CampaignSpec spec = SmallSpec();
+  for (const CampaignJob& job : spec.JobsForShard(0)) {
+    const CampaignJob by_id = spec.JobById(job.id);
+    EXPECT_EQ(by_id.id, job.id);
+    EXPECT_EQ(by_id.scenario_index, job.scenario_index);
+    EXPECT_EQ(by_id.util_index, job.util_index);
+    EXPECT_EQ(by_id.protocol_index, job.protocol_index);
+    EXPECT_EQ(by_id.scenario_seed, job.scenario_seed);
+    // The seed is a per-cell SplitMix stream: shared by every protocol
+    // of the cell, independent of shard layout.
+    const std::int64_t cell =
+        job.scenario_index * spec.num_utils() + job.util_index;
+    EXPECT_EQ(job.scenario_seed, SplitMixSeed(spec.base_seed, cell));
+  }
+}
+
+TEST(CampaignSpecTest, ValidateRejectsBadGrids) {
+  EXPECT_FALSE([&] {
+    CampaignSpec spec = SmallSpec();
+    spec.protocols.clear();
+    return spec.Validate();
+  }().ok());
+  EXPECT_FALSE([&] {
+    CampaignSpec spec = SmallSpec();
+    spec.scenarios = 0;
+    return spec.Validate();
+  }().ok());
+  EXPECT_FALSE([&] {
+    CampaignSpec spec = SmallSpec();
+    spec.shards = 0;
+    return spec.Validate();
+  }().ok());
+  EXPECT_FALSE([&] {
+    CampaignSpec spec = SmallSpec();
+    spec.shards = static_cast<int>(spec.num_cells()) + 1;
+    return spec.Validate();
+  }().ok());
+  EXPECT_FALSE([&] {
+    CampaignSpec spec = SmallSpec();
+    spec.utilizations = {0.0};
+    return spec.Validate();
+  }().ok());
+  EXPECT_FALSE([&] {
+    CampaignSpec spec = SmallSpec();
+    spec.utilizations = {1.5};
+    return spec.Validate();
+  }().ok());
+  // A sweep point the generator would refuse for every scenario of its
+  // cell (4 tasks x min 0.3 = 1.2 > 0.9) is caught up front.
+  EXPECT_FALSE([&] {
+    CampaignSpec spec = SmallSpec();
+    spec.workload.distribution = UtilDistribution::kRandFixedSum;
+    spec.workload.min_task_utilization = 0.3;
+    spec.utilizations = {0.9};
+    return spec.Validate();
+  }().ok());
+}
+
+TEST(CampaignSpecTest, FingerprintIgnoresExecutionKnobsOnly) {
+  const CampaignSpec base = SmallSpec();
+  // Shard layout is execution, not identity: a 3-shard rerun may resume
+  // a 1-shard checkpoint.
+  CampaignSpec resharded = base;
+  resharded.shards = 3;
+  EXPECT_EQ(base.Fingerprint(), resharded.Fingerprint());
+
+  // Everything that changes job inputs changes the fingerprint.
+  CampaignSpec reseeded = base;
+  reseeded.base_seed = 8;
+  EXPECT_NE(base.Fingerprint(), reseeded.Fingerprint());
+  CampaignSpec more_scenarios = base;
+  more_scenarios.scenarios = 4;
+  EXPECT_NE(base.Fingerprint(), more_scenarios.Fingerprint());
+  CampaignSpec other_protocols = base;
+  other_protocols.protocols = {ProtocolKind::kPcpDa};
+  EXPECT_NE(base.Fingerprint(), other_protocols.Fingerprint());
+  CampaignSpec other_sweep = base;
+  other_sweep.utilizations = {0.3, 0.7};
+  EXPECT_NE(base.Fingerprint(), other_sweep.Fingerprint());
+  CampaignSpec other_horizon = base;
+  other_horizon.horizon = 301;
+  EXPECT_NE(base.Fingerprint(), other_horizon.Fingerprint());
+  CampaignSpec other_workload = base;
+  other_workload.workload.distribution = UtilDistribution::kBimodal;
+  EXPECT_NE(base.Fingerprint(), other_workload.Fingerprint());
+}
+
+// --- Checkpoint codec ------------------------------------------------------
+
+TEST(CheckpointTest, RecordRoundTripsThroughEncodeDecode) {
+  const JobRecord record = SampleRecord();
+  const auto decoded = DecodeJobRecord(EncodeJobRecord(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(CheckpointTest, MessageEscapingRoundTrips) {
+  JobRecord record = SampleRecord();
+  record.outcome = "failed";
+  record.code = "Internal";
+  record.message = "quote \" backslash \\ newline \n tab \t bell \x07 done";
+  const std::string line = EncodeJobRecord(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos)
+      << "encoded record must stay a single line";
+  const auto decoded = DecodeJobRecord(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(CheckpointTest, DecodeRejectsMalformedLines) {
+  const std::string good = EncodeJobRecord(SampleRecord());
+  EXPECT_FALSE(DecodeJobRecord("").ok());
+  EXPECT_FALSE(DecodeJobRecord(good.substr(0, good.size() / 2)).ok())
+      << "a truncated line must read as torn, not as a record";
+  EXPECT_FALSE(DecodeJobRecord(good + "x").ok())
+      << "trailing garbage must be rejected";
+  JobRecord bad_outcome = SampleRecord();
+  bad_outcome.outcome = "exploded";
+  EXPECT_FALSE(DecodeJobRecord(EncodeJobRecord(bad_outcome)).ok());
+  JobRecord bad_id = SampleRecord();
+  bad_id.job_id = -1;
+  EXPECT_FALSE(DecodeJobRecord(EncodeJobRecord(bad_id)).ok());
+}
+
+// --- Checkpoint writer / loader --------------------------------------------
+
+TEST(CheckpointTest, WriterAppendsAndLoaderReadsBack) {
+  const fs::path dir = TestDir("writer");
+  const std::string path = (dir / "shard.ckpt").string();
+  std::vector<JobRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    JobRecord record = SampleRecord();
+    record.job_id = i;
+    record.committed = 10 + i;
+    records.push_back(record);
+  }
+
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.Open(path, "fp", 0, /*fsync=*/false).ok());
+  for (const JobRecord& record : records) {
+    ASSERT_TRUE(writer.Append(record).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  const auto loaded = LoadCheckpoint(path, "fp");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records, records);
+  EXPECT_EQ(loaded->torn_bytes, 0);
+}
+
+TEST(CheckpointTest, MissingFileIsAnEmptyCheckpoint) {
+  const fs::path dir = TestDir("missing");
+  const auto loaded = LoadCheckpoint((dir / "absent.ckpt").string(), "fp");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->records.empty());
+  EXPECT_EQ(loaded->valid_bytes, 0);
+  EXPECT_EQ(loaded->torn_bytes, 0);
+}
+
+TEST(CheckpointTest, FingerprintMismatchIsAnError) {
+  const fs::path dir = TestDir("fingerprint");
+  const std::string path = (dir / "shard.ckpt").string();
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.Open(path, "campaign-a", 0, false).ok());
+  ASSERT_TRUE(writer.Append(SampleRecord()).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  const auto loaded = LoadCheckpoint(path, "campaign-b");
+  ASSERT_FALSE(loaded.ok())
+      << "resuming a different campaign into this checkpoint must fail";
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, TornTailIsDiscardedAndTruncatedOnReopen) {
+  const fs::path dir = TestDir("torn");
+  const std::string path = (dir / "shard.ckpt").string();
+  JobRecord first = SampleRecord();
+  first.job_id = 0;
+  JobRecord second = SampleRecord();
+  second.job_id = 1;
+
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.Open(path, "fp", 0, false).ok());
+  ASSERT_TRUE(writer.Append(first).ok());
+  ASSERT_TRUE(writer.Append(second).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  // Simulate a crash mid-append: a partial third record with no newline.
+  {
+    std::ofstream tail(path, std::ios::app | std::ios::binary);
+    tail << R"({"job": 2, "outcome": "ok)";
+  }
+  const auto torn = LoadCheckpoint(path, "fp");
+  ASSERT_TRUE(torn.ok()) << torn.status().ToString();
+  EXPECT_EQ(torn->records, (std::vector<JobRecord>{first, second}));
+  EXPECT_GT(torn->torn_bytes, 0);
+
+  // Reopening at valid_bytes drops the tail; the next append lands clean.
+  CheckpointWriter resume;
+  ASSERT_TRUE(resume.Open(path, "fp", torn->valid_bytes, false).ok());
+  JobRecord third = SampleRecord();
+  third.job_id = 2;
+  ASSERT_TRUE(resume.Append(third).ok());
+  ASSERT_TRUE(resume.Close().ok());
+
+  const auto reloaded = LoadCheckpoint(path, "fp");
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->records,
+            (std::vector<JobRecord>{first, second, third}));
+  EXPECT_EQ(reloaded->torn_bytes, 0);
+}
+
+// --- Campaign end-to-end ---------------------------------------------------
+
+TEST(CampaignTest, CompletesMergesAndResumesAsNoOp) {
+  const fs::path dir = TestDir("complete");
+  Campaign campaign(SmallSpec(), DirOptions(dir));
+  const auto report = campaign.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->total_jobs, 12);
+  EXPECT_EQ(report->ok + report->failed + report->quarantined +
+                report->pending,
+            report->total_jobs);
+  EXPECT_EQ(report->pending, 0);
+  EXPECT_TRUE(report->merged);
+  EXPECT_FALSE(report->stopped);
+  EXPECT_TRUE(fs::exists(dir / "MANIFEST.json"));
+  EXPECT_EQ(MustRead(dir / "BENCH_campaign.json"), ReferenceBench());
+
+  // Re-invoking resumes everything from the checkpoint: nothing re-runs
+  // and the merged bytes do not change.
+  Campaign again(SmallSpec(), DirOptions(dir));
+  const auto resumed = again.Run();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  for (const ShardSummary& shard : resumed->shards) {
+    EXPECT_EQ(shard.ran, 0) << "shard " << shard.shard;
+    EXPECT_EQ(shard.resumed, shard.jobs) << "shard " << shard.shard;
+  }
+  EXPECT_EQ(MustRead(dir / "BENCH_campaign.json"), ReferenceBench());
+}
+
+TEST(CampaignTest, BenchBytesAreIndependentOfShardAndWorkerLayout) {
+  const fs::path dir = TestDir("resharded");
+  CampaignSpec spec = SmallSpec();
+  spec.shards = 3;
+  Campaign campaign(spec, DirOptions(dir, /*jobs=*/4));
+  const auto report = campaign.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->merged);
+  EXPECT_EQ(MustRead(dir / "BENCH_campaign.json"), ReferenceBench())
+      << "3 shards x 4 workers must merge byte-identically to 1 x 2";
+}
+
+TEST(CampaignTest, ResumesByteIdenticallyAfterTornCheckpoint) {
+  const fs::path dir = TestDir("resume_torn");
+  // Phase 1: a deterministic partial run — one worker, stop after 4
+  // completions, so exactly 4 records land in the shard checkpoint.
+  CampaignOptions partial = DirOptions(dir, /*jobs=*/1);
+  partial.stop_after = 4;
+  Campaign first(SmallSpec(), partial);
+  const auto stopped = first.Run();
+  ASSERT_TRUE(stopped.ok()) << stopped.status().ToString();
+  EXPECT_TRUE(stopped->stopped);
+  EXPECT_FALSE(stopped->merged);
+  EXPECT_EQ(stopped->pending, 8);
+  EXPECT_FALSE(fs::exists(dir / "BENCH_campaign.json"));
+
+  // Phase 2: tear the checkpoint tail, as a SIGKILL mid-append would.
+  const std::string ckpt = Campaign::ShardPath(dir.string(), 0);
+  const std::string bytes = MustRead(ckpt);
+  ASSERT_GT(bytes.size(), 5u);
+  {
+    std::ofstream chopped(ckpt, std::ios::trunc | std::ios::binary);
+    chopped << bytes.substr(0, bytes.size() - 5);
+  }
+
+  // Phase 3: resume. The torn record is re-run, the rest is reused, and
+  // the merge is byte-identical to an uninterrupted campaign.
+  Campaign second(SmallSpec(), DirOptions(dir, /*jobs=*/2));
+  const auto resumed = second.Run();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_EQ(resumed->shards.size(), 1u);
+  EXPECT_GT(resumed->shards[0].torn_bytes, 0)
+      << "the chopped tail was not detected as torn";
+  EXPECT_EQ(resumed->shards[0].resumed, 3);
+  EXPECT_EQ(resumed->shards[0].ran, 9);
+  EXPECT_TRUE(resumed->merged);
+  EXPECT_EQ(MustRead(dir / "BENCH_campaign.json"), ReferenceBench());
+}
+
+TEST(CampaignTest, CrashAndHangAreQuarantinedAndStillMerge) {
+  const fs::path dir = TestDir("quarantine");
+  CampaignSpec spec = SmallSpec();
+  spec.wall_budget_ms = 500;  // the hang's only way out
+  CampaignOptions options = DirOptions(dir);
+  options.inject_crash_job = 2;
+  options.inject_hang_job = 5;
+  Campaign campaign(spec, options);
+  const auto report = campaign.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->quarantined, 2);
+  EXPECT_EQ(report->ok, 10);
+  EXPECT_EQ(report->pending, 0);
+  EXPECT_TRUE(report->merged)
+      << "quarantined jobs are recorded; they must not block the merge";
+
+  for (const char* name :
+       {"job_000002.json", "job_000002.scn", "job_000005.json",
+        "job_000005.scn"}) {
+    EXPECT_TRUE(fs::exists(dir / "quarantine" / name)) << name;
+  }
+
+  // The checkpoint records carry the failure taxonomy: the crash
+  // exhausted its retry and stayed Internal, the hang timed out once.
+  const auto loaded = LoadCheckpoint(Campaign::ShardPath(dir.string(), 0),
+                                     SmallSpec().Fingerprint());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  int checked = 0;
+  for (const JobRecord& record : loaded->records) {
+    if (record.job_id == 2) {
+      EXPECT_EQ(record.outcome, "failed");
+      EXPECT_EQ(record.code, "Internal");
+      EXPECT_EQ(record.attempts, 2);
+      EXPECT_TRUE(record.quarantined());
+      ++checked;
+    } else if (record.job_id == 5) {
+      EXPECT_EQ(record.outcome, "timeout");
+      EXPECT_EQ(record.attempts, 1) << "timeouts must not be retried";
+      EXPECT_TRUE(record.quarantined());
+      ++checked;
+    } else {
+      EXPECT_EQ(record.outcome, "ok") << "job " << record.job_id;
+    }
+  }
+  EXPECT_EQ(checked, 2);
+}
+
+TEST(CampaignTest, GracefulStopWritesPartialManifestThenResumesClean) {
+  const fs::path dir = TestDir("graceful_stop");
+  CampaignOptions partial = DirOptions(dir, /*jobs=*/1);
+  partial.stop_after = 3;
+  Campaign first(SmallSpec(), partial);
+  const auto stopped = first.Run();
+  ASSERT_TRUE(stopped.ok()) << stopped.status().ToString();
+  EXPECT_TRUE(stopped->stopped);
+  EXPECT_FALSE(stopped->merged);
+  EXPECT_EQ(stopped->ok + stopped->failed + stopped->quarantined +
+                stopped->pending,
+            stopped->total_jobs);
+  const std::string manifest = MustRead(dir / "MANIFEST.json");
+  EXPECT_NE(manifest.find("\"stopped\": true"), std::string::npos)
+      << manifest;
+  EXPECT_NE(manifest.find("\"complete\": false"), std::string::npos)
+      << manifest;
+  EXPECT_FALSE(fs::exists(dir / "BENCH_campaign.json"));
+
+  Campaign second(SmallSpec(), DirOptions(dir));
+  const auto resumed = second.Run();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed->stopped);
+  EXPECT_TRUE(resumed->merged);
+  EXPECT_EQ(MustRead(dir / "BENCH_campaign.json"), ReferenceBench());
+  const std::string final_manifest = MustRead(dir / "MANIFEST.json");
+  EXPECT_NE(final_manifest.find("\"complete\": true"), std::string::npos)
+      << final_manifest;
+}
+
+TEST(CampaignTest, ExternalStopFlagSkipsEverything) {
+  const fs::path dir = TestDir("external_stop");
+  const std::atomic<bool> stop{true};
+  CampaignOptions options = DirOptions(dir);
+  options.stop = &stop;
+  Campaign campaign(SmallSpec(), options);
+  const auto report = campaign.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->stopped);
+  EXPECT_EQ(report->pending, report->total_jobs);
+  EXPECT_FALSE(report->merged);
+  EXPECT_TRUE(fs::exists(dir / "MANIFEST.json"))
+      << "even an immediately-stopped campaign leaves a manifest";
+}
+
+}  // namespace
+}  // namespace pcpda

@@ -2,12 +2,16 @@
 // ExecutorPool (index coverage, reuse across many batches, exception
 // determinism, edge cases) and the BatchRunner (parallel-vs-serial
 // golden determinism across all 8 protocols — including under a fault
-// plan — per-job failure isolation, seed derivation, and per-job trace
-// ring isolation under concurrency).
+// plan — per-job failure isolation, seed derivation, per-job trace
+// ring isolation under concurrency, worker exception safety, and the
+// robustness policy: watchdog budgets, bounded retry, graceful stop).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -287,6 +291,166 @@ TEST(BatchRunnerTest, EmptyBatchReturnsEmptyResults) {
   BatchRunner runner(BatchOptions{4});
   EXPECT_TRUE(runner.Run({}).empty());
   EXPECT_TRUE(runner.RunTasks({}).empty());
+}
+
+// --- BatchRunner: worker exception safety ----------------------------------
+// Regression: an exception thrown on a pool worker used to be rethrown
+// out of ParallelFor by the pool itself; GuardedCall now captures it at
+// the job boundary, so the batch returns normally and the pool (and its
+// worker threads) stay usable for later batches.
+
+TEST(BatchRunnerTest, WorkerExceptionsLeaveThePoolReusable) {
+  BatchRunner runner(BatchOptions{4});
+  std::vector<std::function<SimResult()>> poisoned;
+  for (int i = 0; i < 16; ++i) {
+    poisoned.push_back([i]() -> SimResult {
+      throw std::runtime_error(StrFormat("poisoned task %d", i));
+    });
+  }
+  for (int batch = 0; batch < 3; ++batch) {
+    const std::vector<SimResult> results = runner.RunTasks(poisoned);
+    ASSERT_EQ(results.size(), poisoned.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].status.code(), StatusCode::kInternal)
+          << "batch " << batch << " task " << i;
+    }
+  }
+  // The pool survived 48 captured exceptions; a clean batch still runs.
+  const Scenario scenario = LoadFaultyScenario();
+  const std::vector<SimResult> clean =
+      runner.Run(AllProtocolSpecs(scenario));
+  for (const SimResult& result : clean) {
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  }
+}
+
+TEST(BatchRunnerTest, NonStdExceptionIsCapturedToo) {
+  BatchRunner runner(BatchOptions{2});
+  const std::vector<SimResult> results =
+      runner.RunTasks({[]() -> SimResult { throw 42; }});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kInternal);
+}
+
+// --- BatchRunner: robustness policy ----------------------------------------
+
+TEST(BatchRunnerPolicyTest, TickBudgetTimesOutDeterministically) {
+  const Scenario scenario = LoadFaultyScenario();
+  RunSpec spec;
+  spec.scenario = &scenario;
+  spec.protocol = ProtocolKind::kPcpDa;
+  JobPolicy policy;
+  policy.max_sim_ticks = 10;  // far below the scenario's horizon
+  policy.max_retries = 3;
+
+  BatchRunner runner(BatchOptions{2});
+  const std::vector<JobResult> results =
+      runner.RunWithPolicy({spec, spec}, policy);
+  ASSERT_EQ(results.size(), 2u);
+  for (const JobResult& job : results) {
+    EXPECT_EQ(job.outcome, JobOutcome::kTimeout);
+    EXPECT_EQ(job.attempts, 1)
+        << "a tick-budget timeout is deterministic; retrying it would "
+           "burn the same budget again";
+    EXPECT_EQ(job.result.status.code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(BatchRunnerPolicyTest, TransientFailureIsRetriedAndReclassified) {
+  BatchRunner runner(BatchOptions{2});
+  JobPolicy policy;
+  policy.max_retries = 2;
+  const std::vector<BatchRunner::PolicyTask> tasks = {
+      // Fails once, then passes: reclassified as OK with attempts == 2.
+      [](const JobContext& context) -> SimResult {
+        if (context.attempt == 0) throw std::runtime_error("flake");
+        return SimResult{};
+      },
+      // Fails every attempt: retries exhaust, reported as the same
+      // failure it would have been without retry.
+      [](const JobContext&) -> SimResult {
+        throw std::runtime_error("deterministic crash");
+      },
+      // Non-Internal failures are deterministic by contract — no retry.
+      [](const JobContext&) {
+        SimResult result;
+        result.status = Status::InvalidArgument("bad config");
+        return result;
+      }};
+  const std::vector<JobResult> results =
+      runner.RunTasksWithPolicy(tasks, policy);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].outcome, JobOutcome::kOk);
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_EQ(results[1].outcome, JobOutcome::kFailed);
+  EXPECT_EQ(results[1].attempts, 3);
+  EXPECT_EQ(results[1].result.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(results[2].outcome, JobOutcome::kFailed);
+  EXPECT_EQ(results[2].attempts, 1);
+}
+
+TEST(BatchRunnerPolicyTest, PreTrippedStopSkipsEveryJobAndMutesTheHook) {
+  BatchRunner runner(BatchOptions{2});
+  const std::atomic<bool> stop{true};
+  JobPolicy policy;
+  policy.stop = &stop;
+  std::atomic<int> hook_calls{0};
+  const std::vector<BatchRunner::PolicyTask> tasks(
+      4, [](const JobContext&) -> SimResult {
+        ADD_FAILURE() << "a skipped job must never run";
+        return SimResult{};
+      });
+  const std::vector<JobResult> results = runner.RunTasksWithPolicy(
+      tasks, policy,
+      [&](std::size_t, const JobResult&) { ++hook_calls; });
+  ASSERT_EQ(results.size(), 4u);
+  for (const JobResult& job : results) {
+    EXPECT_EQ(job.outcome, JobOutcome::kSkipped);
+    EXPECT_EQ(job.attempts, 0);
+  }
+  EXPECT_EQ(hook_calls.load(), 0)
+      << "skipped jobs must not reach the checkpoint hook";
+}
+
+TEST(BatchRunnerPolicyTest, WallBudgetCancelsASpinningTask) {
+  BatchRunner runner(BatchOptions{2});
+  JobPolicy policy;
+  policy.wall_budget_ms = 100;
+  policy.max_retries = 3;
+  const std::vector<BatchRunner::PolicyTask> tasks = {
+      [](const JobContext& context) -> SimResult {
+        while (!context.cancelled()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        SimResult result;
+        result.status = Status::DeadlineExceeded("noticed cancellation");
+        return result;
+      }};
+  const std::vector<JobResult> results =
+      runner.RunTasksWithPolicy(tasks, policy);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].outcome, JobOutcome::kTimeout);
+  EXPECT_EQ(results[0].attempts, 1) << "timeouts are not retried";
+}
+
+TEST(BatchRunnerPolicyTest, CompletionHookFiresOnceRecordedPerFinishedJob) {
+  BatchRunner runner(BatchOptions{4});
+  JobPolicy policy;
+  std::vector<BatchRunner::PolicyTask> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([](const JobContext&) { return SimResult{}; });
+  }
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  const std::vector<JobResult> results = runner.RunTasksWithPolicy(
+      tasks, policy, [&](std::size_t index, const JobResult& job) {
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_TRUE(seen.insert(index).second)
+            << "hook fired twice for job " << index;
+        EXPECT_EQ(job.outcome, JobOutcome::kOk);
+      });
+  ASSERT_EQ(results.size(), tasks.size());
+  EXPECT_EQ(seen.size(), tasks.size());
 }
 
 // --- Bounded trace ring under concurrency ----------------------------------

@@ -32,6 +32,92 @@ TEST(UUniFastTest, SingleTransactionGetsEverything) {
   EXPECT_DOUBLE_EQ(u[0], 0.5);
 }
 
+// --- SampleUtilizations (campaign generator distributions) -----------------
+
+TEST(DistributionTest, NamesRoundTripThroughParser) {
+  for (UtilDistribution distribution :
+       {UtilDistribution::kUUniFast, UtilDistribution::kRandFixedSum,
+        UtilDistribution::kExponential, UtilDistribution::kBimodal}) {
+    const auto parsed = UtilDistributionByName(ToString(distribution));
+    ASSERT_TRUE(parsed.has_value()) << ToString(distribution);
+    EXPECT_EQ(*parsed, distribution);
+  }
+  EXPECT_FALSE(UtilDistributionByName("gaussian").has_value());
+}
+
+TEST(DistributionTest, BoundedShapesSumToTotalWithinPerTaskBounds) {
+  for (UtilDistribution distribution :
+       {UtilDistribution::kRandFixedSum, UtilDistribution::kExponential,
+        UtilDistribution::kBimodal}) {
+    WorkloadParams params;
+    params.distribution = distribution;
+    params.min_task_utilization = 0.01;
+    params.max_task_utilization = 0.5;
+    Rng rng(7);
+    for (int round = 0; round < 50; ++round) {
+      const auto u = SampleUtilizations(8, 0.6, params, rng);
+      ASSERT_EQ(u.size(), 8u);
+      double sum = 0.0;
+      for (double v : u) {
+        EXPECT_GE(v, params.min_task_utilization - 1e-9)
+            << ToString(distribution);
+        EXPECT_LE(v, params.max_task_utilization + 1e-9)
+            << ToString(distribution);
+        sum += v;
+      }
+      EXPECT_NEAR(sum, 0.6, 1e-6)
+          << ToString(distribution) << " round " << round;
+    }
+  }
+}
+
+TEST(DistributionTest, SamplesAreDeterministicPerSeed) {
+  WorkloadParams params;
+  params.distribution = UtilDistribution::kBimodal;
+  Rng a(11);
+  Rng b(11);
+  EXPECT_EQ(SampleUtilizations(8, 0.6, params, a),
+            SampleUtilizations(8, 0.6, params, b));
+}
+
+TEST(GeneratorTest, RejectsInfeasibleBoundsForBoundedShapes) {
+  Rng rng(5);
+  WorkloadParams params;
+  params.distribution = UtilDistribution::kRandFixedSum;
+  // 8 tasks x min 0.2 = 1.6 > total 0.6: no assignment can exist.
+  params.min_task_utilization = 0.2;
+  auto result = GenerateWorkload(params, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("infeasible"),
+            std::string::npos)
+      << result.status().ToString();
+
+  // Inverted bounds are a config error, not a sampling problem.
+  params = {};
+  params.distribution = UtilDistribution::kExponential;
+  params.min_task_utilization = 0.8;
+  params.max_task_utilization = 0.2;
+  EXPECT_FALSE(GenerateWorkload(params, rng).ok());
+
+  // The same bounds are ignored (valid) under plain UUniFast.
+  params.distribution = UtilDistribution::kUUniFast;
+  EXPECT_TRUE(GenerateWorkload(params, rng).ok());
+}
+
+TEST(GeneratorTest, BoundedShapesGenerateValidWorkloads) {
+  for (UtilDistribution distribution :
+       {UtilDistribution::kRandFixedSum, UtilDistribution::kExponential,
+        UtilDistribution::kBimodal}) {
+    Rng rng(6);
+    WorkloadParams params;
+    params.distribution = distribution;
+    auto set = GenerateWorkload(params, rng);
+    ASSERT_TRUE(set.ok())
+        << ToString(distribution) << ": " << set.status().ToString();
+    EXPECT_EQ(set->size(), params.num_transactions);
+  }
+}
+
 // --- GenerateWorkload ------------------------------------------------------
 
 TEST(GeneratorTest, ValidatesParams) {
