@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
+#include "plan/compiled_plan.h"
 #include "protocols/factory.h"
 #include "runner/batch_runner.h"
 #include "sched/simulator.h"
@@ -34,11 +36,12 @@ inline SimResult BenchRun(const TransactionSet& set, ProtocolKind kind,
 
 /// Executor count for the sweep benches: PCPDA_JOBS overrides, else
 /// hardware concurrency. Sweep outputs are independent of this value (the
-/// batch runner returns results in submission order).
+/// batch runner returns results in submission order). A malformed value
+/// warns on stderr and degrades to serial (1) instead of being silently
+/// misread by atoi.
 inline int BenchJobs() {
   if (const char* env = std::getenv("PCPDA_JOBS")) {
-    const int jobs = std::atoi(env);
-    if (jobs >= 1) return jobs;
+    if (env[0] != '\0') return JobsFromEnv("PCPDA_JOBS", 1);
   }
   return ExecutorPool::DefaultThreads();
 }
@@ -46,20 +49,33 @@ inline int BenchJobs() {
 /// Shared batch helper for design-point grids: one RunSpec per
 /// (protocol, scenario) pair, protocol-major, executed on `runner`.
 /// Result index = kind_index * scenarios.size() + scenario_index.
+/// Each scenario is compiled once up front; all protocol runs over it
+/// share the plan (the interpreted path is the fallback for a scenario
+/// the compiler rejects, preserving the old behavior for bench inputs
+/// that carry lint warnings).
 inline std::vector<SimResult> RunGrid(BatchRunner& runner,
                                       const std::vector<Scenario>& scenarios,
                                       const std::vector<ProtocolKind>& kinds,
                                       const SimulatorOptions& base_options,
                                       const PcpDaOptions& pcp_da = {}) {
+  std::vector<CompiledPlan> plans;
+  plans.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios) {
+    CompileOptions compile;
+    compile.lint = false;  // bench scenarios are pre-validated generators
+    auto plan = CompiledPlan::Compile(scenario, compile);
+    plans.push_back(plan.ok() ? std::move(plan).value() : CompiledPlan{});
+  }
   std::vector<RunSpec> specs;
   specs.reserve(kinds.size() * scenarios.size());
   for (const ProtocolKind kind : kinds) {
-    for (const Scenario& scenario : scenarios) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
       RunSpec spec;
-      spec.scenario = &scenario;
+      spec.scenario = &scenarios[i];
       spec.protocol = kind;
       spec.options = base_options;
       spec.pcp_da = pcp_da;
+      if (plans[i].ok()) spec.plan = &plans[i];
       specs.push_back(std::move(spec));
     }
   }

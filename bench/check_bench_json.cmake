@@ -1,0 +1,39 @@
+# Validates BENCH_engine.json (written by bench_engine_perf): the file
+# must parse as JSON, contain at least one row, and every row's
+# compiled_speedup must be >= 1.0 — the compiled path does strictly less
+# work per run than the interpreted path, so a regression below 1.0 means
+# the CompiledPlan fast path stopped being a fast path.
+#
+# Usage: cmake -DJSON=<path to BENCH_engine.json> -P check_bench_json.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED JSON)
+  message(FATAL_ERROR "pass -DJSON=<path to BENCH_engine.json>")
+endif()
+if(NOT EXISTS "${JSON}")
+  message(FATAL_ERROR "missing ${JSON} (run bench_engine_perf first)")
+endif()
+
+file(READ "${JSON}" doc)
+string(JSON nrows ERROR_VARIABLE err LENGTH "${doc}" rows)
+if(err)
+  message(FATAL_ERROR "cannot parse ${JSON}: ${err}")
+endif()
+if(nrows LESS 1)
+  message(FATAL_ERROR "${JSON} has no rows")
+endif()
+
+math(EXPR last "${nrows} - 1")
+foreach(i RANGE ${last})
+  string(JSON proto GET "${doc}" rows ${i} protocol)
+  string(JSON horizon GET "${doc}" rows ${i} ticks_per_sec)
+  string(JSON speedup GET "${doc}" rows ${i} compiled_speedup)
+  # VERSION_LESS gives a robust decimal comparison ("0.9876" < "1.0").
+  if(speedup VERSION_LESS 1.0)
+    message(FATAL_ERROR
+        "row ${i} (${proto}): compiled_speedup=${speedup} < 1.0 — the "
+        "compiled path regressed below the interpreted path")
+  endif()
+  message(STATUS "row ${i}: ${proto} compiled_speedup=${speedup} ok")
+endforeach()
+message(STATUS "${JSON}: ${nrows} row(s), all compiled_speedup >= 1.0")

@@ -18,11 +18,14 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "common/strings.h"
 #include "lint/lint.h"
+#include "plan/compiled_plan.h"
 #include "runner/batch_runner.h"
 #include "workload/scenario.h"
 
@@ -96,9 +99,17 @@ int main(int argc, char** argv) {
     if (ParseFlag(argv[i], "--dir", &value)) {
       dir = value;
     } else if (ParseFlag(argv[i], "--jobs", &value)) {
-      jobs = std::atoi(value);
+      if (!ParseFlagInt("--jobs", value, 1, 1 << 20, &jobs)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--horizon", &value)) {
-      horizon_override = std::strtoll(value, nullptr, 10);
+      if (!ParseFlagTick("--horizon", value, 0,
+                         std::numeric_limits<Tick>::max(),
+                         &horizon_override)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--csv", &value)) {
       csv_path = value;
     } else if (std::strcmp(argv[i], "--no-lint") == 0) {
@@ -108,7 +119,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (dir.empty() || jobs < 1 || horizon_override < 0) {
+  if (dir.empty()) {
     Usage(argv[0]);
     return 2;
   }
@@ -159,13 +170,28 @@ int main(int argc, char** argv) {
     scenarios.push_back(std::move(scenario).value());
   }
 
+  // Compile each scenario once (lint has already run above when it was
+  // requested); the 8 protocol runs share the lowered plan. A scenario
+  // the compiler rejects simply runs interpreted.
+  std::vector<CompiledPlan> plans;
+  plans.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios) {
+    CompileOptions compile_options;
+    compile_options.lint = false;
+    auto compiled = CompiledPlan::Compile(scenario, compile_options);
+    plans.push_back(compiled.ok() ? std::move(compiled).value()
+                                  : CompiledPlan{});
+  }
+
   const std::vector<ProtocolKind> kinds = AllProtocolKinds();
   std::vector<RunSpec> specs;
   specs.reserve(scenarios.size() * kinds.size());
-  for (const Scenario& scenario : scenarios) {
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const Scenario& scenario = scenarios[s];
     for (ProtocolKind kind : kinds) {
       RunSpec spec;
       spec.scenario = &scenario;
+      if (plans[s].ok()) spec.plan = &plans[s];
       spec.protocol = kind;
       spec.options.horizon = FallbackHorizon(scenario, horizon_override);
       spec.options.audit = true;

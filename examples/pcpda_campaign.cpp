@@ -16,10 +16,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign.h"
+#include "common/parse.h"
 #include "runner/executor_pool.h"
 
 using namespace pcpda;
@@ -98,13 +100,28 @@ int main(int argc, char** argv) {
     if (ParseFlag(argv[i], "--out", &value)) {
       options.out_dir = value;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
-      spec.base_seed = std::strtoull(value, nullptr, 10);
+      if (!ParseFlagUInt64("--seed", value,
+                           std::numeric_limits<std::uint64_t>::max(),
+                           &spec.base_seed)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--scenarios", &value)) {
-      spec.scenarios = std::atoi(value);
+      if (!ParseFlagInt("--scenarios", value, 1, 1 << 30,
+                        &spec.scenarios)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--utils", &value)) {
       spec.utilizations.clear();
       for (const std::string& part : SplitCommas(value)) {
-        spec.utilizations.push_back(std::strtod(part.c_str(), nullptr));
+        double util = 0.0;
+        if (!ParseFlagDouble("--utils", part, 0.0,
+                             std::numeric_limits<double>::max(), &util)) {
+          Usage(argv[0]);
+          return 2;
+        }
+        spec.utilizations.push_back(util);
       }
     } else if (ParseFlag(argv[i], "--protocols", &value)) {
       spec.protocols.clear();
@@ -124,31 +141,82 @@ int main(int argc, char** argv) {
       }
       spec.workload.distribution = *dist;
     } else if (ParseFlag(argv[i], "--txns", &value)) {
-      spec.workload.num_transactions = std::atoi(value);
+      if (!ParseFlagInt("--txns", value, 1, 1 << 20,
+                        &spec.workload.num_transactions)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--items", &value)) {
-      spec.workload.num_items = std::atoi(value);
+      if (!ParseFlagInt("--items", value, 1, 1 << 20,
+                        &spec.workload.num_items)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--horizon", &value)) {
-      spec.horizon = std::strtoll(value, nullptr, 10);
+      if (!ParseFlagTick("--horizon", value, 1,
+                         std::numeric_limits<Tick>::max(),
+                         &spec.horizon)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--shards", &value)) {
-      spec.shards = std::atoi(value);
+      if (!ParseFlagInt("--shards", value, 1, 1 << 20, &spec.shards)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--shard", &value)) {
-      options.only_shard = std::atoi(value);
+      if (!ParseFlagInt("--shard", value, 0, 1 << 20,
+                        &options.only_shard)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--jobs", &value)) {
-      options.jobs = std::atoi(value);
+      if (!ParseFlagInt("--jobs", value, 1, 1 << 20, &options.jobs)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--max-sim-ticks", &value)) {
-      spec.max_sim_ticks = std::strtoll(value, nullptr, 10);
+      if (!ParseFlagTick("--max-sim-ticks", value, 0,
+                         std::numeric_limits<Tick>::max(),
+                         &spec.max_sim_ticks)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--wall-budget-ms", &value)) {
-      spec.wall_budget_ms = std::atoi(value);
+      if (!ParseFlagInt("--wall-budget-ms", value, 0, 1 << 30,
+                        &spec.wall_budget_ms)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--retries", &value)) {
-      spec.max_retries = std::atoi(value);
+      if (!ParseFlagInt("--retries", value, 0, 1 << 20,
+                        &spec.max_retries)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--no-fsync") == 0) {
       options.fsync = false;
     } else if (ParseFlag(argv[i], "--inject-crash", &value)) {
-      options.inject_crash_job = std::strtoll(value, nullptr, 10);
+      if (!ParseFlagInt64("--inject-crash", value, -1,
+                          std::numeric_limits<std::int64_t>::max(),
+                          &options.inject_crash_job)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--inject-hang", &value)) {
-      options.inject_hang_job = std::strtoll(value, nullptr, 10);
+      if (!ParseFlagInt64("--inject-hang", value, -1,
+                          std::numeric_limits<std::int64_t>::max(),
+                          &options.inject_hang_job)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--stop-after", &value)) {
-      options.stop_after = std::strtoll(value, nullptr, 10);
+      if (!ParseFlagInt64("--stop-after", value, -1,
+                          std::numeric_limits<std::int64_t>::max(),
+                          &options.stop_after)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else {
       Usage(argv[0]);
       return 2;

@@ -15,8 +15,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
+#include "common/parse.h"
 #include "fuzz/fuzzer.h"
 
 using namespace pcpda;
@@ -62,19 +64,48 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
     if (ParseFlag(argv[i], "--seed", &value)) {
-      options.seed = std::strtoull(value, nullptr, 10);
+      if (!ParseFlagUInt64("--seed", value,
+                           std::numeric_limits<std::uint64_t>::max(),
+                           &options.seed)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--iters", &value)) {
-      options.iterations = std::atoi(value);
+      if (!ParseFlagInt("--iters", value, 0, 1 << 30,
+                        &options.iterations)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--jobs", &value)) {
-      options.jobs = std::atoi(value);
+      if (!ParseFlagInt("--jobs", value, 1, 1 << 20, &options.jobs)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--horizon-cap", &value)) {
-      options.horizon_cap = std::strtoll(value, nullptr, 10);
+      if (!ParseFlagTick("--horizon-cap", value, 1,
+                         std::numeric_limits<Tick>::max(),
+                         &options.horizon_cap)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--fault-prob", &value)) {
-      options.fault_probability = std::strtod(value, nullptr);
+      if (!ParseFlagDouble("--fault-prob", value, 0.0, 1.0,
+                           &options.fault_probability)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--max-findings", &value)) {
-      options.max_findings = std::atoi(value);
+      if (!ParseFlagInt("--max-findings", value, 1, 1 << 30,
+                        &options.max_findings)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--shrink-evals", &value)) {
-      options.shrink.max_evals = std::atoi(value);
+      if (!ParseFlagInt("--shrink-evals", value, 0, 1 << 30,
+                        &options.shrink.max_evals)) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--corpus", &value)) {
       options.corpus_dir = value;
     } else if (ParseFlag(argv[i], "--replay", &value)) {

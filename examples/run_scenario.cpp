@@ -13,10 +13,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 
+#include "common/parse.h"
 #include "history/serialization_graph.h"
 #include "lint/lint.h"
+#include "plan/compiled_plan.h"
 #include "protocols/factory.h"
 #include "sched/simulator.h"
 #include "trace/gantt.h"
@@ -26,15 +29,26 @@ using namespace pcpda;
 
 namespace {
 
-bool RunOne(const Scenario& scenario, ProtocolKind kind, Tick horizon) {
+SimResult Simulate(const Scenario& scenario, const CompiledPlan* plan,
+                   Protocol* protocol, const SimulatorOptions& options) {
+  if (plan != nullptr && plan->ok()) {
+    Simulator simulator(*plan, protocol, options);
+    return simulator.Run();
+  }
+  Simulator simulator(&scenario.set, protocol, options);
+  return simulator.Run();
+}
+
+bool RunOne(const Scenario& scenario, const CompiledPlan* plan,
+            ProtocolKind kind, Tick horizon) {
   auto protocol = MakeProtocol(kind);
   SimulatorOptions options;
   options.horizon = horizon;
   options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
   options.faults = scenario.faults;
   options.audit = true;
-  Simulator simulator(&scenario.set, protocol.get(), options);
-  const SimResult result = simulator.Run();
+  const SimResult result =
+      Simulate(scenario, plan, protocol.get(), options);
   if (!result.status.ok() && result.audit.ok()) {
     std::printf("--- %s ---\n%s\n\n", ToString(kind),
                 result.status.ToString().c_str());
@@ -88,7 +102,13 @@ int main(int argc, char** argv) {
     }
   }
   Tick horizon = scenario->horizon;
-  if (argc > 3) horizon = std::strtoll(argv[3], nullptr, 10);
+  if (argc > 3) {
+    // 0 is legal and means "fall back to twice the hyperperiod" below.
+    if (!ParseFlagTick("horizon", argv[3], 0,
+                       std::numeric_limits<Tick>::max(), &horizon)) {
+      return 2;
+    }
+  }
   if (horizon <= 0) horizon = 2 * scenario->set.Hyperperiod();
   if (horizon <= 0) {
     std::fprintf(stderr,
@@ -101,6 +121,15 @@ int main(int argc, char** argv) {
               scenario->name.c_str(), scenario->set.size(),
               scenario->set.item_count(),
               static_cast<long long>(horizon));
+
+  // Lower the scenario once; every protocol run below shares the plan.
+  // (Lint already ran above when requested, so compile without it; a
+  // scenario the compiler rejects runs interpreted as before.)
+  CompileOptions compile_options;
+  compile_options.lint = false;
+  auto compiled = CompiledPlan::Compile(*scenario, compile_options);
+  const CompiledPlan* plan = compiled.ok() ? &compiled.value() : nullptr;
+
   bool all_ok = true;
   if (argc > 2) {
     const auto kind = ProtocolKindByName(argv[2]);
@@ -108,10 +137,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown protocol %s\n", argv[2]);
       return 2;
     }
-    all_ok = RunOne(*scenario, *kind, horizon);
+    all_ok = RunOne(*scenario, plan, *kind, horizon);
   } else {
     for (ProtocolKind kind : AllProtocolKinds()) {
-      all_ok = RunOne(*scenario, kind, horizon) && all_ok;
+      all_ok = RunOne(*scenario, plan, kind, horizon) && all_ok;
     }
   }
   return all_ok ? 0 : 1;

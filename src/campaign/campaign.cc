@@ -33,6 +33,39 @@ Campaign::Campaign(CampaignSpec spec, CampaignOptions options)
       options_(std::move(options)),
       fingerprint_(spec_.Fingerprint()) {}
 
+StatusOr<CompiledPlan> Campaign::CompileCell(const CampaignJob& job) const {
+  WorkloadParams params = spec_.workload;
+  params.total_utilization =
+      spec_.utilizations[static_cast<std::size_t>(job.util_index)];
+  Rng rng(job.scenario_seed);
+  auto set = GenerateWorkload(params, rng);
+  if (!set.ok()) return set.status();
+  CompileOptions compile;
+  compile.lint = false;  // generated workloads were never linted here
+  return CompiledPlan::Compile(
+      StrFormat("campaign_cell_%lld",
+                static_cast<long long>(job.id / spec_.num_protocols())),
+      std::move(set).value(), spec_.horizon, compile);
+}
+
+std::shared_ptr<Campaign::CellPlan> Campaign::CellPlanFor(
+    std::int64_t cell) {
+  // Enough cells for every executor to be in a different cell plus slack;
+  // eviction only costs a recompile, never correctness.
+  constexpr std::size_t kMaxCachedCells = 128;
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  auto it = plans_.find(cell);
+  if (it != plans_.end()) return it->second;
+  auto entry = std::make_shared<CellPlan>();
+  plans_.emplace(cell, entry);
+  plan_order_.push_back(cell);
+  if (plan_order_.size() > kMaxCachedCells) {
+    plans_.erase(plan_order_.front());
+    plan_order_.pop_front();
+  }
+  return entry;
+}
+
 std::string Campaign::ShardPath(const std::string& out_dir, int shard) {
   return StrFormat("%s/shard_%03d.ckpt", out_dir.c_str(), shard);
 }
@@ -64,14 +97,15 @@ SimResult Campaign::RunJob(const CampaignJob& job,
     return result;
   }
 
-  WorkloadParams params = spec_.workload;
-  params.total_utilization =
-      spec_.utilizations[static_cast<std::size_t>(job.util_index)];
-  Rng rng(job.scenario_seed);
-  auto set = GenerateWorkload(params, rng);
-  if (!set.ok()) {
+  // The grid is cell-major: the num_protocols() jobs of a cell share a
+  // scenario seed, so generate + compile the workload once per cell and
+  // let the protocol runs share the plan.
+  const std::shared_ptr<CellPlan> cell =
+      CellPlanFor(job.id / spec_.num_protocols());
+  std::call_once(cell->once, [&] { cell->plan = CompileCell(job); });
+  if (!cell->plan.ok()) {
     SimResult result;
-    result.status = set.status();
+    result.status = cell->plan.status();
     return result;
   }
 
@@ -84,7 +118,7 @@ SimResult Campaign::RunJob(const CampaignJob& job,
   sim_options.max_sim_ticks = spec_.effective_max_sim_ticks();
   std::unique_ptr<Protocol> protocol = MakeProtocol(
       spec_.protocols[static_cast<std::size_t>(job.protocol_index)]);
-  Simulator simulator(&set.value(), protocol.get(), sim_options);
+  Simulator simulator(cell->plan.value(), protocol.get(), sim_options);
   return simulator.Run();
 }
 

@@ -3,12 +3,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "campaign/checkpoint.h"
 #include "campaign/spec.h"
 #include "common/status.h"
+#include "plan/compiled_plan.h"
 #include "runner/batch_runner.h"
 
 namespace pcpda {
@@ -125,12 +130,29 @@ class Campaign {
       const std::vector<std::int64_t>& recorded_per_shard) const;
   bool StopRequested() const;
 
+  /// The 8 protocol jobs of a grid cell share one scenario seed, so they
+  /// share one generated-and-compiled workload too. The first job of a
+  /// cell to arrive compiles (under the cell's once_flag); the rest wait
+  /// on the flag and reuse the plan. Bounded FIFO eviction keeps memory
+  /// flat on huge grids — an evicted cell is simply recompiled.
+  struct CellPlan {
+    std::once_flag once;
+    StatusOr<CompiledPlan> plan{CompiledPlan{}};
+  };
+  std::shared_ptr<CellPlan> CellPlanFor(std::int64_t cell);
+  /// Generates and compiles the workload of `job`'s cell (no caching).
+  StatusOr<CompiledPlan> CompileCell(const CampaignJob& job) const;
+
   const CampaignSpec spec_;
   const CampaignOptions options_;
   const std::string fingerprint_;
   /// stop_after's deterministic stop flag (see CampaignOptions).
   std::atomic<bool> internal_stop_{false};
   std::atomic<std::int64_t> completions_{0};
+  /// Cell-plan cache (see CellPlanFor); guarded by plans_mu_.
+  std::mutex plans_mu_;
+  std::map<std::int64_t, std::shared_ptr<CellPlan>> plans_;
+  std::list<std::int64_t> plan_order_;  // FIFO eviction order
 };
 
 }  // namespace pcpda

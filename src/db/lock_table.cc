@@ -39,33 +39,31 @@ void LockTable::AcquireWrite(JobId job, ItemId item) {
 void LockTable::Release(JobId job, ItemId item, LockMode mode) {
   PCPDA_CHECK(item >= 0 && item < item_count());
   auto& e = entries_[static_cast<std::size_t>(item)];
-  auto it = by_job_.find(job);
-  PCPDA_CHECK_MSG(it != by_job_.end(), "job holds no locks");
+  JobEntry* held = by_job_.find(job);
+  PCPDA_CHECK_MSG(held != nullptr, "job holds no locks");
   if (mode == LockMode::kRead) {
     PCPDA_CHECK_MSG(e.readers.erase(job) == 1, "read lock not held");
-    it->second.read_items.erase(item);
+    held->read_items.erase(item);
   } else {
     PCPDA_CHECK_MSG(e.writers.erase(job) == 1, "write lock not held");
-    it->second.write_items.erase(item);
+    held->write_items.erase(item);
   }
   --lock_count_;
-  if (it->second.read_items.empty() && it->second.write_items.empty()) {
-    by_job_.erase(it);
-  }
+  if (held->empty()) by_job_.erase(job);
 }
 
 void LockTable::ReleaseAll(JobId job) {
-  auto it = by_job_.find(job);
-  if (it == by_job_.end()) return;
-  for (ItemId item : it->second.read_items) {
+  JobEntry* held = by_job_.find(job);
+  if (held == nullptr) return;
+  for (ItemId item : held->read_items) {
     entries_[static_cast<std::size_t>(item)].readers.erase(job);
     --lock_count_;
   }
-  for (ItemId item : it->second.write_items) {
+  for (ItemId item : held->write_items) {
     entries_[static_cast<std::size_t>(item)].writers.erase(job);
     --lock_count_;
   }
-  by_job_.erase(it);
+  by_job_.erase(job);
 }
 
 bool LockTable::HoldsRead(JobId job, ItemId item) const {
@@ -101,21 +99,16 @@ bool LockTable::NoWriterOtherThan(JobId job, ItemId item) const {
 }
 
 const std::set<ItemId>& LockTable::read_items(JobId job) const {
-  auto it = by_job_.find(job);
-  return it == by_job_.end() ? kNoItems : it->second.read_items;
+  const JobEntry* held = by_job_.find(job);
+  return held == nullptr ? kNoItems : held->read_items;
 }
 
 const std::set<ItemId>& LockTable::write_items(JobId job) const {
-  auto it = by_job_.find(job);
-  return it == by_job_.end() ? kNoItems : it->second.write_items;
+  const JobEntry* held = by_job_.find(job);
+  return held == nullptr ? kNoItems : held->write_items;
 }
 
-std::vector<JobId> LockTable::holders() const {
-  std::vector<JobId> jobs;
-  jobs.reserve(by_job_.size());
-  for (const auto& [job, entry] : by_job_) jobs.push_back(job);
-  return jobs;
-}
+std::vector<JobId> LockTable::holders() const { return by_job_.ids(); }
 
 std::string LockTable::DebugString() const {
   std::vector<std::string> parts;

@@ -1,12 +1,12 @@
 #ifndef PCPDA_DB_LOCK_TABLE_H_
 #define PCPDA_DB_LOCK_TABLE_H_
 
-#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "plan/job_arena.h"
 
 namespace pcpda {
 
@@ -73,12 +73,17 @@ class LockTable {
   struct JobEntry {
     std::set<ItemId> read_items;
     std::set<ItemId> write_items;
+
+    bool empty() const { return read_items.empty() && write_items.empty(); }
   };
 
   const ItemEntry& entry(ItemId item) const;
 
   std::vector<ItemEntry> entries_;
-  std::map<JobId, JobEntry> by_job_;
+  /// Per-job held items in a dense JobId-indexed slot map (O(1) lookup,
+  /// ascending-id iteration, no node churn); an entry is erased the moment
+  /// the job's last lock goes away, exactly like the std::map it replaced.
+  JobSlotMap<JobEntry> by_job_;
   std::size_t lock_count_ = 0;
 
   static const std::set<JobId> kNoJobs;

@@ -322,6 +322,13 @@ std::vector<RunSpec> PlanOracleRuns(const Scenario& scenario,
   return specs;
 }
 
+std::vector<RunSpec> PlanOracleRuns(const CompiledPlan& plan,
+                                    const OracleOptions& options) {
+  std::vector<RunSpec> specs = PlanOracleRuns(plan.scenario(), options);
+  for (RunSpec& spec : specs) spec.plan = &plan;
+  return specs;
+}
+
 OracleVerdict EvaluateOracleRuns(const Scenario& scenario,
                                  const OracleOptions& options,
                                  const std::vector<SimResult>& results) {

@@ -89,6 +89,14 @@ OracleVerdict RunOracles(const Scenario& scenario,
 std::vector<RunSpec> PlanOracleRuns(const Scenario& scenario,
                                     const OracleOptions& options);
 
+/// Compiled variant: the same fan-out with every spec sharing `plan` —
+/// one ceiling/calendar lowering for all protocol x repeat runs instead
+/// of one per run. The specs point into `plan` (and its owned scenario),
+/// which must outlive them. Results are byte-identical to the Scenario
+/// overload on the scenario the plan was compiled from.
+std::vector<RunSpec> PlanOracleRuns(const CompiledPlan& plan,
+                                    const OracleOptions& options);
+
 /// Applies the oracle stack to precomputed results, which must be in
 /// PlanOracleRuns order (the caller typically produced them through a
 /// BatchRunner). Verdicts are byte-identical to RunOracles regardless of

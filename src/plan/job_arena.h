@@ -1,0 +1,100 @@
+#ifndef PCPDA_PLAN_JOB_ARENA_H_
+#define PCPDA_PLAN_JOB_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace pcpda {
+
+/// Dense JobId-indexed slot map: the struct-of-arrays arena primitive
+/// behind the simulator's per-job hot state. Job ids are assigned densely
+/// from 0 within a run (the jobs_ archive is a vector indexed by id), so a
+/// flat slot vector plus a presence flag gives O(1) find/insert/erase with
+/// no node allocations, while a separately maintained ascending id list
+/// reproduces the iteration order of the std::map<JobId, T> it replaces —
+/// the goldens in tests/determinism_test.cc depend on that order.
+///
+/// Slots are never shrunk: erase clears the presence flag but keeps the
+/// payload's capacity (strings, vectors, sets), so steady-state ticks
+/// allocate nothing. clear() is O(live entries), not O(highest id).
+template <typename T>
+class JobSlotMap {
+ public:
+  bool empty() const { return ids_.empty(); }
+  std::size_t size() const { return ids_.size(); }
+
+  /// Live ids in ascending order — the std::map iteration order.
+  const std::vector<JobId>& ids() const { return ids_; }
+
+  bool contains(JobId id) const {
+    const std::size_t slot = static_cast<std::size_t>(id);
+    return id >= 0 && slot < present_.size() && present_[slot] != 0;
+  }
+
+  const T* find(JobId id) const {
+    return contains(id) ? &slots_[static_cast<std::size_t>(id)] : nullptr;
+  }
+  T* find(JobId id) {
+    return contains(id) ? &slots_[static_cast<std::size_t>(id)] : nullptr;
+  }
+
+  /// The live entry for `id`; the id must be present.
+  const T& at(JobId id) const {
+    const T* entry = find(id);
+    PCPDA_CHECK_MSG(entry != nullptr, "JobSlotMap::at on an absent id");
+    return *entry;
+  }
+  T& at(JobId id) {
+    T* entry = find(id);
+    PCPDA_CHECK_MSG(entry != nullptr, "JobSlotMap::at on an absent id");
+    return *entry;
+  }
+
+  /// Inserts a default-constructed entry when absent (the reused slot is
+  /// reset to T{} so stale payload never leaks into a new job).
+  T& operator[](JobId id) {
+    PCPDA_CHECK(id >= 0);
+    const std::size_t slot = static_cast<std::size_t>(id);
+    if (slot >= slots_.size()) {
+      slots_.resize(slot + 1);
+      present_.resize(slot + 1, 0);
+    }
+    if (present_[slot] == 0) {
+      present_[slot] = 1;
+      slots_[slot] = T{};
+      ids_.insert(std::upper_bound(ids_.begin(), ids_.end(), id), id);
+    }
+    return slots_[slot];
+  }
+
+  void erase(JobId id) {
+    if (!contains(id)) return;
+    present_[static_cast<std::size_t>(id)] = 0;
+    ids_.erase(std::lower_bound(ids_.begin(), ids_.end(), id));
+  }
+
+  void clear() {
+    for (JobId id : ids_) present_[static_cast<std::size_t>(id)] = 0;
+    ids_.clear();
+  }
+
+  void swap(JobSlotMap& other) {
+    slots_.swap(other.slots_);
+    present_.swap(other.present_);
+    ids_.swap(other.ids_);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<std::uint8_t> present_;
+  std::vector<JobId> ids_;
+};
+
+}  // namespace pcpda
+
+#endif  // PCPDA_PLAN_JOB_ARENA_H_

@@ -33,6 +33,13 @@ struct RunSpec {
   /// Options for PCP-DA instances (the guard-ablation hook); ignored for
   /// every other protocol kind.
   PcpDaOptions pcp_da;
+  /// Compiled artifact for `scenario`, shared across every spec of the
+  /// same scenario: the run reuses its precomputed ceilings and arrival
+  /// cursor instead of rebuilding them. Null runs the interpreted path;
+  /// when set, it must have been compiled from the same scenario (the
+  /// fallbacks still read `scenario` for horizon and faults). Must
+  /// outlive the batch. Results are byte-identical either way.
+  const CompiledPlan* plan = nullptr;
 };
 
 struct BatchOptions {

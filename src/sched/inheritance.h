@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/types.h"
+#include "plan/job_arena.h"
 #include "sched/wait_graph.h"
 
 namespace pcpda {
@@ -24,6 +25,15 @@ namespace pcpda {
 std::map<JobId, Priority> ComputeRunningPriorities(
     const std::map<JobId, Priority>& base, const WaitGraph& waits,
     bool enable_inheritance);
+
+/// Dense in-place variant for the simulator's per-sweep fixpoint:
+/// `running` arrives preloaded with the live jobs' base priorities and is
+/// relaxed to the same fixpoint as the map overload, with no per-call
+/// allocation. Ids absent from `running` are ignored exactly as the map
+/// version ignores no-longer-live waiters and holders.
+void ComputeRunningPrioritiesDense(JobSlotMap<Priority>& running,
+                                   const WaitGraph& waits,
+                                   bool enable_inheritance);
 
 }  // namespace pcpda
 

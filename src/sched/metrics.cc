@@ -8,26 +8,50 @@
 
 namespace pcpda {
 
-Tick SpecMetrics::ResponsePercentile(double p) const {
-  if (responses.empty()) return 0;
+namespace {
+
+// Nearest-rank: the smallest response r such that at least p*n of the
+// samples are <= r, i.e. index ceil(p*n)-1. p=0 is the minimum and p=1
+// the maximum, exactly.
+std::size_t PercentileRank(double p, std::size_t n) {
   PCPDA_CHECK(p >= 0.0 && p <= 1.0);
-  // Nearest-rank: the smallest response r such that at least p*n of the
-  // samples are <= r, i.e. index ceil(p*n)-1. p=0 is the minimum and p=1
-  // the maximum, exactly. nth_element gives the rank statistic without
-  // sorting the whole sample (O(n) expected vs O(n log n)).
+  if (p <= 0.0) return 0;
+  const std::size_t rank =
+      static_cast<std::size_t>(std::ceil(p * static_cast<double>(n))) - 1;
+  return std::min(rank, n - 1);
+}
+
+}  // namespace
+
+Tick SpecMetrics::ResponsePercentile(double p) const {
+  return ResponsePercentiles({p}).front();
+}
+
+std::vector<Tick> SpecMetrics::ResponsePercentiles(
+    const std::vector<double>& ps) const {
+  std::vector<Tick> out(ps.size(), 0);
+  if (responses.empty() || ps.empty()) return out;
   const std::size_t n = responses.size();
-  std::size_t rank = 0;
-  if (p > 0.0) {
-    rank = static_cast<std::size_t>(
-               std::ceil(p * static_cast<double>(n))) -
-           1;
-    rank = std::min(rank, n - 1);
+  // One copy of the sample serves every quantile. Past two quantiles a
+  // full sort is cheaper than repeated nth_element passes (and repeated
+  // nth_element on the already-partitioned scratch stays correct: the
+  // rank statistic is permutation-invariant).
+  std::vector<Tick> scratch = responses;
+  if (ps.size() > 2) {
+    std::sort(scratch.begin(), scratch.end());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      out[i] = scratch[PercentileRank(ps[i], n)];
+    }
+  } else {
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      const std::size_t rank = PercentileRank(ps[i], n);
+      std::nth_element(scratch.begin(),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(rank),
+                       scratch.end());
+      out[i] = scratch[rank];
+    }
   }
-  std::vector<Tick> sample = responses;
-  std::nth_element(sample.begin(),
-                   sample.begin() + static_cast<std::ptrdiff_t>(rank),
-                   sample.end());
-  return sample[rank];
+  return out;
 }
 
 std::int64_t RunMetrics::TotalReleased() const {

@@ -53,6 +53,12 @@ struct SpecMetrics {
   /// The p-quantile (p in [0, 1]) of the committed response times using
   /// the nearest-rank method; 0 when nothing committed.
   Tick ResponsePercentile(double p) const;
+
+  /// All requested quantiles from one scratch buffer: a single copy of
+  /// the sample, sorted once when more than two quantiles are asked for
+  /// (nth_element per quantile otherwise). Element i answers ps[i];
+  /// values are identical to calling ResponsePercentile(ps[i]).
+  std::vector<Tick> ResponsePercentiles(const std::vector<double>& ps) const;
 };
 
 /// Injected-fault accounting for one run. All zero when no fault plan is
@@ -90,6 +96,11 @@ struct RunMetrics {
   Priority max_ceiling;
   bool halted_on_deadlock = false;
   bool halted_on_miss = false;
+  /// Lock requests evaluated by the protocol (Protocol::Decide calls),
+  /// including re-evaluations during dispatch fixpoint sweeps. Feeds the
+  /// ns-per-lock-decision figure in bench_engine_perf; deliberately absent
+  /// from DebugString so golden traces are unaffected.
+  std::int64_t lock_decisions = 0;
   FaultMetrics faults;
 
   std::int64_t TotalReleased() const;

@@ -5,6 +5,23 @@
 #include "common/check.h"
 
 namespace pcpda {
+namespace {
+
+/// The dispatch comparator is a strict total order (job id breaks every
+/// tie), so the non-stable std::sort is deterministic.
+bool DispatchBefore(const Job* a, const Priority& ra, const Job* b,
+                    const Priority& rb) {
+  if (ra != rb) return ra > rb;
+  if (a->base_priority() != b->base_priority()) {
+    return a->base_priority() > b->base_priority();
+  }
+  if (a->release_time() != b->release_time()) {
+    return a->release_time() < b->release_time();
+  }
+  return a->id() < b->id();
+}
+
+}  // namespace
 
 std::vector<Job*> DispatchOrder(
     const std::vector<Job*>& active,
@@ -17,18 +34,16 @@ std::vector<Job*> DispatchOrder(
     return it->second;
   };
   std::sort(order.begin(), order.end(), [&](const Job* a, const Job* b) {
-    const Priority ra = running(a);
-    const Priority rb = running(b);
-    if (ra != rb) return ra > rb;
-    if (a->base_priority() != b->base_priority()) {
-      return a->base_priority() > b->base_priority();
-    }
-    if (a->release_time() != b->release_time()) {
-      return a->release_time() < b->release_time();
-    }
-    return a->id() < b->id();
+    return DispatchBefore(a, running(a), b, running(b));
   });
   return order;
+}
+
+void SortDispatchOrder(std::vector<Job*>& order) {
+  std::sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
+    return DispatchBefore(a, a->running_priority(), b,
+                          b->running_priority());
+  });
 }
 
 }  // namespace pcpda

@@ -18,6 +18,12 @@ std::vector<Job*> DispatchOrder(
     const std::vector<Job*>& active,
     const std::map<JobId, Priority>& running_priorities);
 
+/// In-place variant for the simulator's hot loop: sorts `order` by the
+/// same strict total order, reading each job's running priority from the
+/// job itself (the caller has just written the fixpoint back via
+/// Job::set_running_priority). No per-call allocation.
+void SortDispatchOrder(std::vector<Job*>& order);
+
 }  // namespace pcpda
 
 #endif  // PCPDA_SCHED_SCHEDULER_H_

@@ -1,6 +1,7 @@
 #include "sched/simulator.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -12,16 +13,34 @@ namespace pcpda {
 
 Simulator::Simulator(const TransactionSet* set, Protocol* protocol,
                      SimulatorOptions options)
+    : Simulator(set, /*plan=*/nullptr, protocol, std::move(options)) {}
+
+Simulator::Simulator(const CompiledPlan& plan, Protocol* protocol,
+                     SimulatorOptions options)
+    : Simulator(&plan.set(), &plan, protocol, std::move(options)) {}
+
+Simulator::Simulator(const TransactionSet* set, const CompiledPlan* plan,
+                     Protocol* protocol, SimulatorOptions options)
     : set_(set),
       protocol_(protocol),
-      options_(options),
-      ceilings_(*set),
+      options_(std::move(options)),
+      plan_(plan != nullptr ? *plan : CompiledPlan{}),
+      owned_ceilings_(plan != nullptr
+                          ? nullptr
+                          : std::make_unique<const StaticCeilings>(*set)),
+      ceilings_(plan != nullptr ? &plan_.ceilings() : owned_ceilings_.get()),
       database_(set->item_count()),
       lock_table_(set->item_count()) {
   PCPDA_CHECK(set != nullptr);
   PCPDA_CHECK(protocol != nullptr);
   if (options_.arrival_schedule == nullptr) {
-    calendar_cursor_.emplace(ArrivalCalendar(set_).MakeCursor());
+    // The plan's prebuilt cursor is a byte-identical copy of what
+    // MakeCursor() would build from scratch — same heap, same pop order.
+    if (plan_.ok()) {
+      calendar_cursor_.emplace(plan_.MakeCursor());
+    } else {
+      calendar_cursor_.emplace(ArrivalCalendar(set_).MakeCursor());
+    }
   }
 }
 
@@ -100,6 +119,7 @@ void Simulator::ReleaseArrivals() {
   if (fault_plan_ != nullptr) {
     due = fault_plan_->TransformArrivals(tick_, std::move(due));
   }
+  if (!due.empty()) dispatch_dirty_ = true;
   for (const Arrival& arrival : due) {
     const Tick rel_deadline = set_->RelativeDeadline(arrival.spec);
     const Tick deadline =
@@ -190,6 +210,7 @@ void Simulator::ApplyFaults() {
       ++metrics_.faults.skipped_aborts;
       continue;
     }
+    dispatch_dirty_ = true;
     switch (fault.kind) {
       case FaultKind::kAbort:
         ++metrics_.faults.injected_aborts;
@@ -223,13 +244,20 @@ Job* Simulator::ResolveDispatch() {
     blocked_now_.clear();
     granted_decision_.clear();
 
-    std::vector<Job*> active = ActiveJobs();
-    std::map<JobId, Priority> base;
-    for (Job* job : active) base[job->id()] = job->base_priority();
     // The wait graph persists across ticks (outstanding denied requests
-    // keep donating priority); drop edges of jobs that are gone.
-    for (JobId waiter : wait_graph_.waiters()) {
-      if (!base.contains(waiter)) wait_graph_.ClearWaits(waiter);
+    // keep donating priority); drop edges of jobs that are gone. A job
+    // is in the active scan set iff it is still active() (RetireJob is
+    // only reached through MarkCommitted/MarkDropped), so the archive
+    // answers membership without building a key set. ClearWaits mutates
+    // the edge list, so collect first.
+    stale_waiters_scratch_.clear();
+    for (JobId waiter : wait_graph_.waiter_ids()) {
+      if (!jobs_[static_cast<std::size_t>(waiter)]->active()) {
+        stale_waiters_scratch_.push_back(waiter);
+      }
+    }
+    for (JobId waiter : stale_waiters_scratch_) {
+      wait_graph_.ClearWaits(waiter);
     }
 
     // Evaluate every outstanding lock request against the protocol. The
@@ -240,16 +268,22 @@ Job* Simulator::ResolveDispatch() {
     // Each sweep walks jobs in descending running priority, so a waiter's
     // denial raises its blocker before the blocker is evaluated; the
     // sweep cap guards against pathological oscillation.
-    std::map<JobId, Priority> running;
-    const std::size_t max_sweeps = 4 * active.size() + 8;
+    const std::size_t max_sweeps = 4 * active_jobs_.size() + 8;
     for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
-      running = ComputeRunningPriorities(
-          base, wait_graph_, protocol_->uses_priority_inheritance());
-      for (Job* job : active) {
-        job->set_running_priority(running.at(job->id()));
+      running_scratch_.clear();
+      for (Job* job : active_jobs_) {
+        running_scratch_[job->id()] = job->base_priority();
       }
+      ComputeRunningPrioritiesDense(
+          running_scratch_, wait_graph_,
+          protocol_->uses_priority_inheritance());
+      for (Job* job : active_jobs_) {
+        job->set_running_priority(running_scratch_.at(job->id()));
+      }
+      dispatch_scratch_ = active_jobs_;
+      SortDispatchOrder(dispatch_scratch_);
       bool changed = false;
-      for (Job* job : DispatchOrder(active, running)) {
+      for (Job* job : dispatch_scratch_) {
         if (!NeedsLock(*job)) {
           if (wait_graph_.IsWaiting(job->id())) {
             wait_graph_.ClearWaits(job->id());
@@ -261,20 +295,26 @@ Job* Simulator::ResolveDispatch() {
         const Step& step = job->current_step();
         LockRequest request{job, step.item, NeededMode(*job)};
         LockDecision decision = protocol_->Decide(request);
+        ++metrics_.lock_decisions;
         if (decision.kind == LockDecision::Kind::kBlock) {
-          const std::set<JobId> holders(decision.jobs.begin(),
-                                        decision.jobs.end());
-          if (wait_graph_.HoldersBlocking(job->id()) != holders) {
+          holders_scratch_.assign(decision.jobs.begin(),
+                                  decision.jobs.end());
+          std::sort(holders_scratch_.begin(), holders_scratch_.end());
+          holders_scratch_.erase(std::unique(holders_scratch_.begin(),
+                                             holders_scratch_.end()),
+                                 holders_scratch_.end());
+          // HoldersBlocking yields the stored sorted-unique holder set,
+          // so this compares the same sets the std::set version did.
+          if (wait_graph_.HoldersBlocking(job->id()) != holders_scratch_) {
             wait_graph_.SetWaits(job->id(), decision.jobs);
             changed = true;
           }
-          PendingBlock pb;
+          PendingBlock& pb = blocked_now_[job->id()];
           pb.item = request.item;
           pb.mode = request.mode;
           pb.reason = decision.reason;
           pb.blockers = decision.jobs;
           pb.note = std::move(decision.note);
-          blocked_now_[job->id()] = std::move(pb);
         } else {
           if (wait_graph_.IsWaiting(job->id())) {
             wait_graph_.ClearWaits(job->id());
@@ -289,34 +329,36 @@ Job* Simulator::ResolveDispatch() {
     }
 
     // Dispatch the highest running-priority job that is not blocked.
+    // dispatch_scratch_ still holds the final sweep's order — the same
+    // order the running map from that sweep would produce.
     Job* chosen = nullptr;
-    for (Job* job : DispatchOrder(active, running)) {
+    for (Job* job : dispatch_scratch_) {
       if (!blocked_now_.contains(job->id())) {
         chosen = job;
         break;
       }
     }
     if (chosen != nullptr) {
-      auto it = granted_decision_.find(chosen->id());
-      if (it != granted_decision_.end() &&
-          it->second.kind == LockDecision::Kind::kAbortAndGrant) {
+      const LockDecision* granted = granted_decision_.find(chosen->id());
+      if (granted != nullptr &&
+          granted->kind == LockDecision::Kind::kAbortAndGrant) {
         // Apply the aborts, then re-resolve against the new lock state.
-        for (JobId victim_id : it->second.jobs) {
+        for (JobId victim_id : granted->jobs) {
           Job* victim = const_cast<Job*>(job(victim_id));
           PCPDA_CHECK_MSG(victim != nullptr && victim->active(),
                           "abort victim not active");
-          AbortAndRestart(*victim, it->second.note.empty()
+          AbortAndRestart(*victim, granted->note.empty()
                                        ? "abort"
-                                       : it->second.note.c_str());
+                                       : granted->note.c_str());
         }
         continue;
       }
-      if (it != granted_decision_.end() &&
-          it->second.kind == LockDecision::Kind::kAbortRequester) {
+      if (granted != nullptr &&
+          granted->kind == LockDecision::Kind::kAbortRequester) {
         // Optimistic self-abort: restart the requester, then re-resolve.
-        AbortAndRestart(*chosen, it->second.note.empty()
+        AbortAndRestart(*chosen, granted->note.empty()
                                      ? "self-abort"
-                                     : it->second.note.c_str());
+                                     : granted->note.c_str());
         continue;
       }
     }
@@ -369,14 +411,18 @@ void Simulator::AdmitStep(Job& job) {
   PCPDA_CHECK(!job.step_admitted());
   const Step& step = job.current_step();
   if (step.kind == StepKind::kCompute) {
+    // Flag-only change: NeedsLock was already false, dispatch unaffected.
     job.set_step_admitted(true);
     return;
   }
+  // Lock acquisition and the RecordRead below feed later decisions (the
+  // wr-guard reads other jobs' dynamic read sets), so the memo dies here.
+  dispatch_dirty_ = true;
   const bool needed_grant = NeedsLock(job);
   if (needed_grant) {
     std::string note;
-    auto it = granted_decision_.find(job.id());
-    if (it != granted_decision_.end()) note = it->second.note;
+    const LockDecision* granted = granted_decision_.find(job.id());
+    if (granted != nullptr) note = granted->note;
     if (step.kind == StepKind::kRead) {
       lock_table_.AcquireRead(job.id(), step.item);
     } else {
@@ -482,11 +528,10 @@ void Simulator::Commit(Job& job) {
   m.max_response = std::max(m.max_response, response);
   m.total_response += static_cast<double>(response);
   m.responses.push_back(response);
-  auto eb = effective_blocking_by_job_.find(job.id());
-  if (eb != effective_blocking_by_job_.end()) {
-    m.max_effective_blocking =
-        std::max(m.max_effective_blocking, eb->second);
-    effective_blocking_by_job_.erase(eb);
+  const Tick* eb = effective_blocking_by_job_.find(job.id());
+  if (eb != nullptr) {
+    m.max_effective_blocking = std::max(m.max_effective_blocking, *eb);
+    effective_blocking_by_job_.erase(job.id());
   }
   job.MarkCommitted(commit_time);
   RetireJob(job);
@@ -494,6 +539,7 @@ void Simulator::Commit(Job& job) {
 }
 
 void Simulator::AbortAndRestart(Job& victim, const char* why) {
+  dispatch_dirty_ = true;
   // Undo in-place writes (newest pre-images are irrelevant: the undo log
   // keeps the value from before the job's first write of each item).
   for (const auto& [item, before] : victim.undo_log()) {
@@ -518,6 +564,7 @@ void Simulator::AbortAndRestart(Job& victim, const char* why) {
 }
 
 void Simulator::DropJob(Job& job) {
+  dispatch_dirty_ = true;
   for (const auto& [item, before] : job.undo_log()) {
     database_.Restore(item, before);
   }
@@ -534,12 +581,11 @@ void Simulator::DropJob(Job& job) {
     event.instance = job.instance();
     trace_.AddEvent(event);
   }
-  auto eb = effective_blocking_by_job_.find(job.id());
-  if (eb != effective_blocking_by_job_.end()) {
+  const Tick* eb = effective_blocking_by_job_.find(job.id());
+  if (eb != nullptr) {
     SpecMetrics& m = metrics_for(job.spec_id());
-    m.max_effective_blocking =
-        std::max(m.max_effective_blocking, eb->second);
-    effective_blocking_by_job_.erase(eb);
+    m.max_effective_blocking = std::max(m.max_effective_blocking, *eb);
+    effective_blocking_by_job_.erase(job.id());
   }
   job.MarkDropped();
   RetireJob(job);
@@ -547,6 +593,7 @@ void Simulator::DropJob(Job& job) {
 }
 
 void Simulator::RetireJob(Job& job) {
+  dispatch_dirty_ = true;
   PCPDA_CHECK(!job.active());
   const auto it =
       std::find(active_jobs_.begin(), active_jobs_.end(), &job);
@@ -586,18 +633,22 @@ void Simulator::ExecuteTick(Job& job) {
   const bool step_done = job.ExecuteTick();
   metrics_for(job.spec_id()).busy_ticks += 1;
   if (step_done) {
+    // The step cursor moved (and early releases / commit may follow).
+    dispatch_dirty_ = true;
     CompleteStep(job, step);
     if (job.BodyDone()) Commit(job);
   }
 }
 
 void Simulator::RecordTick(const Job* runner, StepKind runner_kind) {
-  // Blocking/preemption accounting.
-  std::map<JobId, std::string> blocked_ids;
-  for (const auto& [id, pb] : blocked_now_) {
+  // Blocking/preemption accounting. blocked_scratch_ becomes the next
+  // tick's blocked_prev_ via the swap below, keeping both maps' slots.
+  blocked_scratch_.clear();
+  for (JobId id : blocked_now_.ids()) {
+    const PendingBlock& pb = blocked_now_.at(id);
     const Job* blocked = job(id);
     PCPDA_CHECK(blocked != nullptr);
-    blocked_ids.emplace(id, pb.note);
+    blocked_scratch_[id] = pb.note;
     SpecMetrics& m = metrics_for(blocked->spec_id());
     ++m.blocked_ticks;
     if (runner != nullptr &&
@@ -605,9 +656,9 @@ void Simulator::RecordTick(const Job* runner, StepKind runner_kind) {
       ++m.effective_blocking_ticks;
       ++effective_blocking_by_job_[id];
     }
-    const auto prev = blocked_prev_.find(id);
-    const bool new_episode = prev == blocked_prev_.end();
-    if (new_episode || prev->second != pb.note) {
+    const std::string* prev = blocked_prev_.find(id);
+    const bool new_episode = prev == nullptr;
+    if (new_episode || *prev != pb.note) {
       // New blocking episode, or the denial reason changed mid-episode
       // (e.g. a ceiling block turning into a wr-guard conflict).
       if (new_episode) {
@@ -633,7 +684,7 @@ void Simulator::RecordTick(const Job* runner, StepKind runner_kind) {
       }
     }
   }
-  blocked_prev_ = std::move(blocked_ids);
+  blocked_prev_.swap(blocked_scratch_);
   for (const Job* j : active_jobs_) {
     if (runner != nullptr && j->id() == runner->id()) continue;
     if (!blocked_now_.contains(j->id())) {
@@ -653,7 +704,8 @@ void Simulator::RecordTick(const Job* runner, StepKind runner_kind) {
     record.running_spec = runner->spec_id();
     record.running_kind = runner_kind;
   }
-  for (const auto& [id, pb] : blocked_now_) {
+  for (JobId id : blocked_now_.ids()) {
+    const PendingBlock& pb = blocked_now_.at(id);
     const Job* blocked = job(id);
     BlockedSample sample;
     sample.job = id;
@@ -678,11 +730,13 @@ void Simulator::AuditNow() {
   scanned.insert(scanned.end(), retired_this_tick_.begin(),
                  retired_this_tick_.end());
   std::map<JobId, std::vector<JobId>> blocked;
-  for (const auto& [id, pb] : blocked_now_) blocked[id] = pb.blockers;
+  for (JobId id : blocked_now_.ids()) {
+    blocked[id] = blocked_now_.at(id).blockers;
+  }
   AuditScope scope;
   scope.tick = tick_;
   scope.set = set_;
-  scope.ceilings = &ceilings_;
+  scope.ceilings = ceilings_;
   scope.protocol = protocol_;
   scope.locks = &lock_table_;
   scope.database = &database_;
@@ -760,12 +814,22 @@ SimResult Simulator::Run() {
     CheckDeadlines();
     if (halted_) break;
     ApplyFaults();
-    Job* runner = ResolveDispatch();
-    while (HandleOneDeadlock()) {
-      if (halted_) break;
+    Job* runner;
+    if (dispatch_dirty_) {
       runner = ResolveDispatch();
+      while (HandleOneDeadlock()) {
+        if (halted_) break;
+        runner = ResolveDispatch();
+      }
+      if (halted_) break;
+      // The resolution (blocked_now_, wait edges, runner) stays valid
+      // until one of the marked mutation points fires; the deadlock scan
+      // is covered too — an unchanged wait graph cannot grow a cycle.
+      dispatch_dirty_ = false;
+      last_runner_ = runner;
+    } else {
+      runner = last_runner_;
     }
-    if (halted_) break;
     const StepKind runner_kind =
         (runner != nullptr && !runner->BodyDone())
             ? runner->current_step().kind
@@ -790,11 +854,12 @@ SimResult Simulator::Run() {
   }
 
   // Fold leftover per-job blocking maxima into the per-spec metrics.
-  for (const auto& [id, ticks] : effective_blocking_by_job_) {
+  for (JobId id : effective_blocking_by_job_.ids()) {
     const Job* j = job(id);
     if (j == nullptr) continue;
     SpecMetrics& m = metrics_for(j->spec_id());
-    m.max_effective_blocking = std::max(m.max_effective_blocking, ticks);
+    m.max_effective_blocking =
+        std::max(m.max_effective_blocking, effective_blocking_by_job_.at(id));
   }
 
   if (fault_plan_ != nullptr) {

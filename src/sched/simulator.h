@@ -2,10 +2,9 @@
 #define PCPDA_SCHED_SIMULATOR_H_
 
 #include <atomic>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -15,6 +14,8 @@
 #include "db/lock_table.h"
 #include "fault/fault_plan.h"
 #include "history/history.h"
+#include "plan/compiled_plan.h"
+#include "plan/job_arena.h"
 #include "protocols/protocol.h"
 #include "sched/auditor.h"
 #include "sched/metrics.h"
@@ -117,8 +118,16 @@ struct SimResult {
 /// by tests/determinism_test.cc).
 class Simulator : public SimView {
  public:
-  /// `set` and `protocol` must outlive the simulator.
+  /// `set` and `protocol` must outlive the simulator. Builds the static
+  /// ceilings and the arrival cursor from scratch — the interpreted path.
   Simulator(const TransactionSet* set, Protocol* protocol,
+            SimulatorOptions options);
+  /// Compiled path: reuses the plan's precomputed ceilings and arrival
+  /// cursor instead of rebuilding them per run. The simulator keeps a
+  /// copy of the plan (cheap: shared state), so `plan` itself need not
+  /// outlive it. Behavior is byte-identical to the interpreted ctor on
+  /// the same scenario (pinned by tests/determinism_test.cc).
+  Simulator(const CompiledPlan& plan, Protocol* protocol,
             SimulatorOptions options);
   ~Simulator() override;
 
@@ -130,7 +139,7 @@ class Simulator : public SimView {
 
   // --- SimView ------------------------------------------------------------
   const TransactionSet& set() const override { return *set_; }
-  const StaticCeilings& ceilings() const override { return ceilings_; }
+  const StaticCeilings& ceilings() const override { return *ceilings_; }
   const LockTable& locks() const override { return lock_table_; }
   const Database& database() const override { return database_; }
   const Job* job(JobId id) const override;
@@ -194,11 +203,21 @@ class Simulator : public SimView {
   bool NeedsLock(const Job& job) const;
   LockMode NeededMode(const Job& job) const;
 
+  /// Delegation target of both public ctors; `plan` may be null.
+  Simulator(const TransactionSet* set, const CompiledPlan* plan,
+            Protocol* protocol, SimulatorOptions options);
+
   const TransactionSet* set_;
   Protocol* protocol_;
   SimulatorOptions options_;
 
-  StaticCeilings ceilings_;
+  /// Holds the compiled artifact alive on the compiled path; empty
+  /// (ok() == false) on the interpreted path.
+  CompiledPlan plan_;
+  /// Built per run only when no plan supplies them.
+  std::unique_ptr<const StaticCeilings> owned_ceilings_;
+  /// Points into plan_ or at owned_ceilings_.
+  const StaticCeilings* ceilings_;
   Database database_;
   LockTable lock_table_;
   WaitGraph wait_graph_;
@@ -224,17 +243,44 @@ class Simulator : public SimView {
   /// Read position into options_.arrival_schedule->arrivals().
   std::size_t schedule_pos_ = 0;
   /// Jobs blocked this tick (job id -> details), rebuilt each tick.
-  std::map<JobId, PendingBlock> blocked_now_;
+  /// Dense slot maps (plan/job_arena.h) replace the former
+  /// std::map<JobId, ...> hot state: same ascending-id iteration order,
+  /// O(1) lookup, and slot storage that is reused across ticks instead
+  /// of reallocated.
+  JobSlotMap<PendingBlock> blocked_now_;
   /// Block annotation per job during the previous tick (for the kBlock
   /// edge trigger: a new episode OR a changed reason re-traces) and
   /// per-job effective-blocking accumulation.
-  std::map<JobId, std::string> blocked_prev_;
-  std::map<JobId, Tick> effective_blocking_by_job_;
+  JobSlotMap<std::string> blocked_prev_;
+  /// Next tick's blocked_prev_, built during RecordTick then swapped in
+  /// so both maps keep their slot capacity.
+  JobSlotMap<std::string> blocked_scratch_;
+  JobSlotMap<Tick> effective_blocking_by_job_;
   /// The decision produced for the runner during dispatch resolution.
-  std::map<JobId, LockDecision> granted_decision_;
+  JobSlotMap<LockDecision> granted_decision_;
+  /// Per-sweep scratch reused across dispatch resolutions: the running-
+  /// priority fixpoint, the dispatch order, the sorted holder set of a
+  /// kBlock decision, and the stale waiters to clear.
+  JobSlotMap<Priority> running_scratch_;
+  std::vector<Job*> dispatch_scratch_;
+  std::vector<JobId> holders_scratch_;
+  std::vector<JobId> stale_waiters_scratch_;
   std::unique_ptr<FaultPlan> fault_plan_;
   std::unique_ptr<InvariantAuditor> auditor_;
   bool ran_ = false;
+
+  /// Cross-tick dispatch memo. Every input of ResolveDispatch — the
+  /// active set, step cursors/admission flags, dynamic read sets, lock
+  /// table, wait graph and protocol state — only changes at the marked
+  /// mutation points (arrival, admission of a lock step, step
+  /// completion, commit/drop/abort, fault application). Decide is pure
+  /// by contract, so while dispatch_dirty_ stays false the previous
+  /// tick's resolution (last_runner_, blocked_now_, wait edges) is
+  /// reused verbatim; a job executing a k-tick step resolves O(1) times
+  /// instead of k. Byte-identical by construction, pinned by
+  /// tests/determinism_test.cc.
+  bool dispatch_dirty_ = true;
+  Job* last_runner_ = nullptr;
 };
 
 }  // namespace pcpda

@@ -6,7 +6,7 @@
 
 namespace pcpda {
 
-const std::set<JobId> WaitGraph::kNoHolders;
+const std::vector<JobId> WaitGraph::kNoHolders;
 
 void WaitGraph::Clear() { edges_.clear(); }
 
@@ -15,7 +15,10 @@ void WaitGraph::SetWaits(JobId waiter, std::vector<JobId> holders) {
     edges_.erase(waiter);
     return;
   }
-  edges_[waiter] = std::set<JobId>(holders.begin(), holders.end());
+  std::sort(holders.begin(), holders.end());
+  holders.erase(std::unique(holders.begin(), holders.end()),
+                holders.end());
+  edges_[waiter] = std::move(holders);
 }
 
 void WaitGraph::ClearWaits(JobId waiter) { edges_.erase(waiter); }
@@ -24,49 +27,52 @@ bool WaitGraph::IsWaiting(JobId waiter) const {
   return edges_.contains(waiter);
 }
 
-const std::set<JobId>& WaitGraph::HoldersBlocking(JobId waiter) const {
-  auto it = edges_.find(waiter);
-  return it == edges_.end() ? kNoHolders : it->second;
+const std::vector<JobId>& WaitGraph::HoldersBlocking(JobId waiter) const {
+  const std::vector<JobId>* holders = edges_.find(waiter);
+  return holders == nullptr ? kNoHolders : *holders;
 }
 
-std::vector<JobId> WaitGraph::waiters() const {
-  std::vector<JobId> out;
-  out.reserve(edges_.size());
-  for (const auto& [waiter, holders] : edges_) out.push_back(waiter);
-  return out;
-}
+std::vector<JobId> WaitGraph::waiters() const { return edges_.ids(); }
 
 std::optional<std::vector<JobId>> WaitGraph::FindCycle() const {
+  if (edges_.empty()) return std::nullopt;
   enum class Color : std::uint8_t { kWhite, kGray, kBlack };
-  std::map<JobId, Color> color;
-  for (const auto& [waiter, holders] : edges_) {
-    color.emplace(waiter, Color::kWhite);
-    for (JobId h : holders) color.emplace(h, Color::kWhite);
+  // Colors in a flat array over [0, max id]: ids are dense per run, and
+  // the graph is only non-empty under contention, so one block beats a
+  // node-allocating map.
+  JobId max_id = 0;
+  for (JobId waiter : edges_.ids()) {
+    max_id = std::max(max_id, waiter);
+    for (JobId h : edges_.at(waiter)) max_id = std::max(max_id, h);
   }
+  std::vector<Color> color(static_cast<std::size_t>(max_id) + 1,
+                           Color::kWhite);
+  auto paint = [&color](JobId id) -> Color& {
+    return color[static_cast<std::size_t>(id)];
+  };
   std::vector<JobId> path;
   // Recursive DFS expressed iteratively via an explicit stack of
   // (node, next successor index).
-  auto successors = [this](JobId node) -> const std::set<JobId>& {
-    auto it = edges_.find(node);
-    return it == edges_.end() ? kNoHolders : it->second;
+  auto successors = [this](JobId node) -> const std::vector<JobId>& {
+    return HoldersBlocking(node);
   };
-  for (const auto& [root, unused] : edges_) {
-    if (color[root] != Color::kWhite) continue;
-    std::vector<std::pair<JobId, std::set<JobId>::const_iterator>> stack;
-    color[root] = Color::kGray;
-    stack.emplace_back(root, successors(root).begin());
+  for (JobId root : edges_.ids()) {
+    if (paint(root) != Color::kWhite) continue;
+    std::vector<std::pair<JobId, std::size_t>> stack;
+    paint(root) = Color::kGray;
+    stack.emplace_back(root, 0);
     path.assign(1, root);
     while (!stack.empty()) {
-      auto& [node, it] = stack.back();
-      if (it == successors(node).end()) {
-        color[node] = Color::kBlack;
+      auto& [node, next_index] = stack.back();
+      const std::vector<JobId>& succ = successors(node);
+      if (next_index == succ.size()) {
+        paint(node) = Color::kBlack;
         stack.pop_back();
         path.pop_back();
         continue;
       }
-      const JobId next = *it;
-      ++it;
-      if (color[next] == Color::kGray) {
+      const JobId next = succ[next_index++];
+      if (paint(next) == Color::kGray) {
         // Cycle: slice the current path from `next` onwards.
         auto start = std::find(path.begin(), path.end(), next);
         std::vector<JobId> cycle(start, path.end());
@@ -75,9 +81,9 @@ std::optional<std::vector<JobId>> WaitGraph::FindCycle() const {
         std::rotate(cycle.begin(), smallest, cycle.end());
         return cycle;
       }
-      if (color[next] == Color::kWhite) {
-        color[next] = Color::kGray;
-        stack.emplace_back(next, successors(next).begin());
+      if (paint(next) == Color::kWhite) {
+        paint(next) = Color::kGray;
+        stack.emplace_back(next, 0);
         path.push_back(next);
       }
     }
@@ -87,8 +93,9 @@ std::optional<std::vector<JobId>> WaitGraph::FindCycle() const {
 
 std::string WaitGraph::DebugString() const {
   std::vector<std::string> lines;
-  for (const auto& [waiter, holders] : edges_) {
+  for (JobId waiter : edges_.ids()) {
     std::vector<std::string> ids;
+    const std::vector<JobId>& holders = edges_.at(waiter);
     ids.reserve(holders.size());
     for (JobId h : holders) {
       ids.push_back(StrFormat("%lld", static_cast<long long>(h)));

@@ -1,31 +1,39 @@
 #ifndef PCPDA_SCHED_WAIT_GRAPH_H_
 #define PCPDA_SCHED_WAIT_GRAPH_H_
 
-#include <map>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "plan/job_arena.h"
 
 namespace pcpda {
 
 /// The wait-for graph: an edge waiter -> holder means the waiter's lock
 /// request is currently denied because of the holder. Rebuilt every tick by
 /// the simulator; a cycle is a deadlock.
+///
+/// Edges live in a dense JobId-indexed slot map (see plan/job_arena.h):
+/// holder lists are sorted-unique vectors, so lookups are O(1), iteration
+/// is in ascending waiter id, and steady-state edge churn allocates
+/// nothing — byte-identical to the std::map<JobId, std::set<JobId>> it
+/// replaced.
 class WaitGraph {
  public:
   void Clear();
 
-  /// Replaces the waiter's outgoing edges.
+  /// Replaces the waiter's outgoing edges. Duplicate holders collapse.
   void SetWaits(JobId waiter, std::vector<JobId> holders);
   void ClearWaits(JobId waiter);
 
   bool IsWaiting(JobId waiter) const;
-  const std::set<JobId>& HoldersBlocking(JobId waiter) const;
-  /// Jobs currently waiting (have outgoing edges).
+  /// Holders blocking `waiter`, ascending by id; empty when not waiting.
+  const std::vector<JobId>& HoldersBlocking(JobId waiter) const;
+  /// Jobs currently waiting (have outgoing edges), ascending by id.
   std::vector<JobId> waiters() const;
+  /// Same ids without the copy; invalidated by any mutation.
+  const std::vector<JobId>& waiter_ids() const { return edges_.ids(); }
 
   /// Finds a wait-for cycle if one exists. The returned cycle lists each
   /// member once, starting from the smallest job id in the cycle.
@@ -34,9 +42,9 @@ class WaitGraph {
   std::string DebugString() const;
 
  private:
-  std::map<JobId, std::set<JobId>> edges_;
+  JobSlotMap<std::vector<JobId>> edges_;
 
-  static const std::set<JobId> kNoHolders;
+  static const std::vector<JobId> kNoHolders;
 };
 
 }  // namespace pcpda

@@ -437,6 +437,30 @@ TEST(ResponsePercentileTest, EmptyIsZero) {
   EXPECT_EQ(m.ResponsePercentile(0.9), 0);
 }
 
+TEST(ResponsePercentileTest, BatchMatchesPerCallOnBothPaths) {
+  SpecMetrics m;
+  m.responses = {12, 4, 20, 4, 16, 8, 2, 18};
+  // > 2 quantiles takes the sort-once path; <= 2 the nth_element path.
+  // Both must agree elementwise with the per-call answers, regardless of
+  // the order the quantiles are asked in.
+  const std::vector<double> many = {1.0, 0.0, 0.5, 0.25, 0.75, 0.9};
+  const std::vector<Tick> batch = m.ResponsePercentiles(many);
+  ASSERT_EQ(batch.size(), many.size());
+  for (std::size_t i = 0; i < many.size(); ++i) {
+    EXPECT_EQ(batch[i], m.ResponsePercentile(many[i])) << "p=" << many[i];
+  }
+  const std::vector<Tick> pair = m.ResponsePercentiles({0.95, 0.05});
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0], m.ResponsePercentile(0.95));
+  EXPECT_EQ(pair[1], m.ResponsePercentile(0.05));
+}
+
+TEST(ResponsePercentileTest, BatchOnEmptyYieldsZeros) {
+  SpecMetrics m;
+  const std::vector<Tick> out = m.ResponsePercentiles({0.0, 0.5, 1.0});
+  EXPECT_EQ(out, (std::vector<Tick>{0, 0, 0}));
+}
+
 TEST(ResponsePercentileTest, PopulatedBySimulator) {
   TransactionSet set = MakeSet(
       {{.name = "T", .period = 5, .body = {Compute(2)}}},

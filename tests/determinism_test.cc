@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/strings.h"
+#include "plan/compiled_plan.h"
 #include "protocols/factory.h"
 #include "sched/simulator.h"
 #include "workload/scenario.h"
@@ -57,15 +58,24 @@ std::string RenderTick(const TickRecord& record) {
 
 /// One protocol's full run rendered as text. Everything observable lands
 /// here: any engine change that perturbs the schedule shows up as a diff.
-std::string RenderRun(const Scenario& scenario, ProtocolKind kind) {
+/// With a plan the run goes through the compiled path; the contract is
+/// that both paths render byte-identically.
+std::string RenderRun(const Scenario& scenario, ProtocolKind kind,
+                      const CompiledPlan* plan = nullptr) {
   auto protocol = MakeProtocol(kind);
   SimulatorOptions options;
   options.horizon = scenario.horizon;
   options.faults = scenario.faults;
   options.audit = true;
   options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
-  Simulator sim(&scenario.set, protocol.get(), options);
-  const SimResult result = sim.Run();
+  const SimResult result = [&] {
+    if (plan != nullptr) {
+      Simulator sim(*plan, protocol.get(), options);
+      return sim.Run();
+    }
+    Simulator sim(&scenario.set, protocol.get(), options);
+    return sim.Run();
+  }();
 
   std::ostringstream out;
   out << "=== " << ToString(kind) << " ===\n";
@@ -121,6 +131,50 @@ TEST(DeterminismTest, GoldenExample3FaultyAllProtocols) {
            << want.substr(from, 240) << "\n--- actual:\n"
            << actual.substr(from, 240);
   }
+}
+
+// The compiled path (one CompiledPlan shared by all 8 protocols, dense
+// hot-path state) must be byte-identical to the interpreted path on the
+// richest scenario we have: fault plan active, auditor on, deadlock
+// aborts. Any divergence in trace events, per-tick schedule, blocked
+// annotations, metrics, history or audit verdict fails here.
+TEST(DeterminismTest, CompiledMatchesInterpretedAllProtocols) {
+  const Scenario scenario = LoadScenario();
+  CompileOptions compile_options;
+  compile_options.lint = false;
+  auto compiled = CompiledPlan::Compile(scenario, compile_options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    EXPECT_EQ(RenderRun(scenario, kind),
+              RenderRun(scenario, kind, &compiled.value()))
+        << "compiled path diverges under " << ToString(kind);
+  }
+}
+
+// And the compiled path must match the recorded golden directly (not
+// just the interpreted run of this build), pinning it to the
+// pre-CompiledPlan engine byte for byte.
+TEST(DeterminismTest, CompiledMatchesGolden) {
+  if (std::getenv("PCPDA_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "golden being regenerated";
+  }
+  const Scenario scenario = LoadScenario();
+  CompileOptions compile_options;
+  compile_options.lint = false;
+  auto compiled = CompiledPlan::Compile(scenario, compile_options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  std::ostringstream actual;
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    actual << RenderRun(scenario, kind, &compiled.value());
+  }
+
+  std::ifstream in(SourcePath("tests/golden/example3_faulty.golden"),
+                   std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual.str(), expected.str());
 }
 
 TEST(DeterminismTest, BackToBackRunsAreIdentical) {

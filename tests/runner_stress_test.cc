@@ -24,6 +24,7 @@
 
 #include "analysis/blocking.h"
 #include "common/rng.h"
+#include "plan/compiled_plan.h"
 #include "protocols/factory.h"
 #include "runner/batch_runner.h"
 #include "workload/scenario.h"
@@ -110,6 +111,55 @@ TEST(RunnerStressTest, ParallelSimulationsMatchSerialReference) {
   BatchRunner parallel(BatchOptions{8});
   for (int repeat = 0; repeat < 20; ++repeat) {
     const std::vector<SimResult> got = parallel.Run(specs);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].status.ToString(), want[i].status.ToString());
+      ASSERT_EQ(got[i].metrics.DebugString(scenario.set),
+                want[i].metrics.DebugString(scenario.set))
+          << "repeat " << repeat << " spec " << i;
+      ASSERT_EQ(got[i].trace.DebugString(), want[i].trace.DebugString())
+          << "repeat " << repeat << " spec " << i;
+      ASSERT_EQ(got[i].history.DebugString(), want[i].history.DebugString())
+          << "repeat " << repeat << " spec " << i;
+      ASSERT_TRUE(got[i].audit.ok()) << got[i].audit.DebugString();
+    }
+  }
+}
+
+TEST(RunnerStressTest, SharedCompiledPlanAcrossConcurrentRuns) {
+  // One immutable CompiledPlan shared by 64 concurrent simulations: the
+  // plan's ceilings/calendar/bitsets are read-only after Compile, so any
+  // write to them from the simulate path is a tsan race here, and any
+  // behavioral divergence is a digest mismatch against the interpreted
+  // serial reference.
+  const Scenario scenario = LoadStressScenario();
+  CompileOptions compile_options;
+  compile_options.lint = false;
+  auto compiled = CompiledPlan::Compile(scenario, compile_options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  const std::vector<ProtocolKind> kinds = AllProtocolKinds();
+  std::vector<RunSpec> interpreted;
+  std::vector<RunSpec> planned;
+  for (ProtocolKind kind : kinds) {
+    for (std::uint64_t stream = 0; stream < 8; ++stream) {
+      RunSpec spec;
+      spec.scenario = &scenario;
+      spec.protocol = kind;
+      spec.seed = SplitMixSeed(13, stream);
+      spec.options.audit = true;
+      spec.options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+      interpreted.push_back(spec);
+      spec.plan = &compiled.value();
+      planned.push_back(spec);
+    }
+  }
+
+  BatchRunner serial(BatchOptions{1});
+  const std::vector<SimResult> want = serial.Run(interpreted);
+  BatchRunner parallel(BatchOptions{8});
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    const std::vector<SimResult> got = parallel.Run(planned);
     ASSERT_EQ(got.size(), want.size());
     for (std::size_t i = 0; i < want.size(); ++i) {
       ASSERT_EQ(got[i].status.ToString(), want[i].status.ToString());

@@ -23,7 +23,7 @@ TEST(WaitGraphTest, SetAndClearWaits) {
   WaitGraph graph;
   graph.SetWaits(1, {2, 3});
   EXPECT_TRUE(graph.IsWaiting(1));
-  EXPECT_EQ(graph.HoldersBlocking(1), (std::set<JobId>{2, 3}));
+  EXPECT_EQ(graph.HoldersBlocking(1), (std::vector<JobId>{2, 3}));
   graph.ClearWaits(1);
   EXPECT_FALSE(graph.IsWaiting(1));
   graph.SetWaits(1, {2});
