@@ -1,6 +1,7 @@
 #include "campaign/campaign.h"
 
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "lint/lint.h"
 #include "sched/simulator.h"
 #include "workload/generator.h"
 #include "workload/scenario.h"
@@ -26,6 +28,17 @@ std::int64_t TotalBlocking(const RunMetrics& metrics) {
   return static_cast<std::int64_t>(blocking);
 }
 
+/// Status-message prefix that classifies a cell failure as a defect of
+/// the workload generator (lint pre-flight rejection or generation
+/// failure) rather than of the protocol under test. MakeRecord keys the
+/// "generator_defect" outcome off it.
+constexpr const char kGeneratorDefectPrefix[] = "generator defect: ";
+
+bool IsGeneratorDefect(const Status& status) {
+  return status.code() == StatusCode::kFailedPrecondition &&
+         status.message().rfind(kGeneratorDefectPrefix, 0) == 0;
+}
+
 }  // namespace
 
 Campaign::Campaign(CampaignSpec spec, CampaignOptions options)
@@ -34,18 +47,59 @@ Campaign::Campaign(CampaignSpec spec, CampaignOptions options)
       fingerprint_(spec_.Fingerprint()) {}
 
 StatusOr<CompiledPlan> Campaign::CompileCell(const CampaignJob& job) const {
+  const std::int64_t cell = job.id / spec_.num_protocols();
   WorkloadParams params = spec_.workload;
   params.total_utilization =
       spec_.utilizations[static_cast<std::size_t>(job.util_index)];
   Rng rng(job.scenario_seed);
   auto set = GenerateWorkload(params, rng);
-  if (!set.ok()) return set.status();
+  if (!set.ok()) {
+    // Validate() vetted every sweep point, so a generation failure here
+    // is a generator bug — classify it as such, not as 8 protocol
+    // failures.
+    return Status::FailedPrecondition(
+        StrFormat("%scell %lld workload generation failed: %s",
+                  kGeneratorDefectPrefix, static_cast<long long>(cell),
+                  set.status().message().c_str()));
+  }
+  Scenario scenario{
+      StrFormat("campaign_cell_%lld", static_cast<long long>(cell)),
+      std::move(set).value(),
+      spec_.horizon,
+      {},
+      {},
+      {},
+      {}};
+  if (options_.inject_lint_defect_cell == cell) {
+    // A dangling expect reference: the cheapest error-level defect, and
+    // exactly the shape a generator bug would take (declared facts that
+    // do not match the emitted workload).
+    CeilingExpectation bogus;
+    bogus.write_ceiling = true;
+    bogus.item = "no_such_item";
+    bogus.txn = "no_such_txn";
+    scenario.expects.push_back(bogus);
+  }
+  if (options_.lint_preflight) {
+    const LintReport lint = LintScenario(scenario, LintFilterOptions());
+    if (!lint.clean()) {
+      std::string first;
+      for (const LintDiagnostic& diagnostic : lint.diagnostics) {
+        if (diagnostic.severity == LintSeverity::kError) {
+          first = StrFormat("%s [%s]", diagnostic.message.c_str(),
+                            diagnostic.rule.c_str());
+          break;
+        }
+      }
+      return Status::FailedPrecondition(StrFormat(
+          "%scell %lld scenario rejected by lint pre-flight: %s",
+          kGeneratorDefectPrefix, static_cast<long long>(cell),
+          first.c_str()));
+    }
+  }
   CompileOptions compile;
-  compile.lint = false;  // generated workloads were never linted here
-  return CompiledPlan::Compile(
-      StrFormat("campaign_cell_%lld",
-                static_cast<long long>(job.id / spec_.num_protocols())),
-      std::move(set).value(), spec_.horizon, compile);
+  compile.lint = false;  // pre-flighted above (or deliberately skipped)
+  return CompiledPlan::Compile(std::move(scenario), compile);
 }
 
 std::shared_ptr<Campaign::CellPlan> Campaign::CellPlanFor(
@@ -80,6 +134,18 @@ bool Campaign::StopRequested() const {
 
 SimResult Campaign::RunJob(const CampaignJob& job,
                            const JobContext& context) {
+  if (job.id == options_.inject_segv_job) {
+    // Process-level poison injection: a real SIGSEGV that no in-process
+    // retry or watchdog can contain — only the supervisor's bisection
+    // isolates it. (Deliberately lethal when run unsupervised.)
+    std::raise(SIGSEGV);
+  }
+  if (job.id == options_.inject_spin_job) {
+    // An uncooperative hang: never polls cancellation, so the wall-clock
+    // watchdog cannot break it; the supervisor's SIGTERM→SIGKILL
+    // escalation is the only way out.
+    for (;;) std::this_thread::yield();
+  }
   if (job.id == options_.inject_crash_job) {
     throw std::runtime_error(
         StrFormat("injected crash (job %lld attempt %d)",
@@ -127,6 +193,10 @@ JobRecord Campaign::MakeRecord(const CampaignJob& job,
   JobRecord record;
   record.job_id = job.id;
   record.outcome = ToString(result.outcome);
+  if (result.outcome == JobOutcome::kFailed &&
+      IsGeneratorDefect(result.result.status)) {
+    record.outcome = "generator_defect";
+  }
   record.attempts = result.attempts;
   record.code = ToString(result.result.status.code());
   record.message = result.result.status.message();
@@ -205,10 +275,18 @@ Status Campaign::RunShard(BatchRunner& runner, int shard,
   for (const JobRecord& record : loaded->records) {
     done.insert(record.job_id);
   }
+  // With a bisection range, summaries account the *assigned* jobs only:
+  // ids outside [job_first, job_last) belong to sibling workers.
   const std::vector<CampaignJob> all = spec_.JobsForShard(shard);
-  summary.jobs = static_cast<std::int64_t>(all.size());
-  std::vector<CampaignJob> todo;
+  std::vector<CampaignJob> assigned;
   for (const CampaignJob& job : all) {
+    if (options_.job_first >= 0 && job.id < options_.job_first) continue;
+    if (options_.job_last >= 0 && job.id >= options_.job_last) continue;
+    assigned.push_back(job);
+  }
+  summary.jobs = static_cast<std::int64_t>(assigned.size());
+  std::vector<CampaignJob> todo;
+  for (const CampaignJob& job : assigned) {
     if (done.count(job.id) == 0) todo.push_back(job);
   }
   summary.resumed = summary.jobs - static_cast<std::int64_t>(todo.size());
@@ -252,6 +330,9 @@ Status Campaign::RunShard(BatchRunner& runner, int shard,
       internal_stop_.store(true, std::memory_order_relaxed);
       return;
     }
+    // The record is durable: let the heartbeat (or any other progress
+    // listener) know.
+    if (options_.on_record) options_.on_record();
     if (options_.stop_after >= 0 &&
         completions_.fetch_add(1, std::memory_order_relaxed) + 1 >=
             options_.stop_after) {
@@ -420,7 +501,11 @@ std::string Campaign::RenderBench(
           blocking += record.blocking_ticks;
           restarts += record.restarts;
           deadlocks += record.deadlocks;
-        } else {
+        } else if (record.outcome != "generator_defect") {
+          // Generator defects fail the *cell*, not the protocol: they
+          // count against acceptance (not in `accepted`) but are kept
+          // out of the per-row protocol failure tally — the failures
+          // array below still itemizes them.
           ++row_failed;
         }
       }
@@ -484,6 +569,10 @@ StatusOr<CampaignReport> Campaign::Run() {
         StrFormat("only_shard %d out of range for %d shards",
                   options_.only_shard, spec_.shards));
   }
+  if (options_.worker && options_.only_shard < 0) {
+    return Status::InvalidArgument(
+        "worker mode requires an assigned shard (only_shard)");
+  }
   std::error_code ec;
   std::filesystem::create_directories(options_.out_dir, ec);
   if (ec) {
@@ -507,8 +596,43 @@ StatusOr<CampaignReport> Campaign::Run() {
     report.shards.push_back(summary);
   }
   report.stopped = StopRequested();
+  if (options_.worker) {
+    // The supervisor owns MANIFEST/BENCH: parallel workers must never
+    // race on them, so a worker reports its shard summaries and stops.
+    return report;
+  }
   PCPDA_RETURN_IF_ERROR(Finalize(report));
   return report;
+}
+
+StatusOr<CampaignReport> Campaign::Merge(bool stopped) {
+  PCPDA_RETURN_IF_ERROR(spec_.Validate());
+  if (options_.out_dir.empty()) {
+    return Status::InvalidArgument("CampaignOptions.out_dir is required");
+  }
+  CampaignReport report;
+  report.fingerprint = fingerprint_;
+  report.stopped = stopped;
+  PCPDA_RETURN_IF_ERROR(Finalize(report));
+  return report;
+}
+
+Status Campaign::RecordPoisonJob(const JobRecord& record) {
+  const int shard = spec_.ShardOfJob(record.job_id);
+  const std::string path = ShardPath(options_.out_dir, shard);
+  auto loaded = LoadCheckpoint(path, fingerprint_);
+  if (!loaded.ok()) return loaded.status();
+  for (const JobRecord& existing : loaded->records) {
+    // Already recorded (e.g. the worker appended before dying on the
+    // fsync): keep the first occurrence, like every other merge path.
+    if (existing.job_id == record.job_id) return Status::Ok();
+  }
+  CheckpointWriter writer;
+  PCPDA_RETURN_IF_ERROR(
+      writer.Open(path, fingerprint_, loaded->valid_bytes, options_.fsync));
+  PCPDA_RETURN_IF_ERROR(writer.Append(record));
+  PCPDA_RETURN_IF_ERROR(writer.Close());
+  return WriteQuarantine(spec_.JobById(record.job_id), record);
 }
 
 }  // namespace pcpda

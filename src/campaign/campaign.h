@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -39,6 +40,30 @@ struct CampaignOptions {
   /// already flushed per job, and a partial MANIFEST.json is written.
   const std::atomic<bool>* stop = nullptr;
 
+  // --- worker mode (the supervisor's forked processes) -----------------
+  /// Run as a supervised worker: execute the assigned shard (only_shard
+  /// is then required) and skip Finalize entirely — the supervisor owns
+  /// MANIFEST/BENCH, and parallel workers must not race on them.
+  bool worker = false;
+  /// Restrict the shard to global job ids in [job_first, job_last) — the
+  /// supervisor's bisection unit when hunting a poison job. -1/-1 runs
+  /// the whole shard. Already-recorded jobs inside the range still
+  /// resume; jobs outside it are left pending for sibling workers.
+  std::int64_t job_first = -1;
+  std::int64_t job_last = -1;
+  /// Invoked after every durable record append (on the worker thread
+  /// that completed the job). Workers write one heartbeat byte per call;
+  /// the supervisor's stall detector feeds on them. Must be async-safe
+  /// in the ordinary sense (called under no campaign lock) and cheap.
+  std::function<void()> on_record;
+
+  /// Lint pre-flight (ROADMAP item 3): run the static analyzer's
+  /// error-level filter over every generated scenario before any
+  /// protocol simulates it. A scenario with lint errors marks all of its
+  /// cell's jobs "generator_defect" — quarantined with the .scn as a
+  /// generator bug, never counted as a protocol failure.
+  bool lint_preflight = true;
+
   // --- fault injection for the robustness tests ------------------------
   /// This job id throws on every attempt (exhausts retries, quarantined).
   std::int64_t inject_crash_job = -1;
@@ -48,6 +73,19 @@ struct CampaignOptions {
   /// deterministic stand-in for SIGINT mid-shard. When set it replaces
   /// `stop` as the in-flight cancellation source. -1 = off.
   std::int64_t stop_after = -1;
+  /// This job id kills the whole *process* with SIGSEGV when it starts —
+  /// the supervisor-level poison-job injection (a thrown exception never
+  /// leaves the worker; this one cannot be caught). Lethal by design in
+  /// unsupervised runs.
+  std::int64_t inject_segv_job = -1;
+  /// This job id spins forever without polling cancellation — a hang no
+  /// in-process watchdog can break; only the supervisor's SIGTERM→SIGKILL
+  /// escalation ends it. Lethal by design in unsupervised runs.
+  std::int64_t inject_spin_job = -1;
+  /// Inject a lint defect into this cell's generated scenario (a
+  /// dangling `expect` reference), driving the lint pre-flight's
+  /// generator_defect path deterministically in tests. -1 = off.
+  std::int64_t inject_lint_defect_cell = -1;
 };
 
 /// Per-shard accounting for one invocation.
@@ -99,8 +137,22 @@ class Campaign {
 
   /// Runs (or resumes) the campaign. Non-OK only for spec/IO errors;
   /// job failures are data, reported in the CampaignReport and the
-  /// checkpoint records.
+  /// checkpoint records. In worker mode Finalize is skipped: the report
+  /// carries shard summaries only (total/ok/... stay zero).
   StatusOr<CampaignReport> Run();
+
+  /// Merge-only entry for the supervisor: re-reads every shard
+  /// checkpoint and writes MANIFEST.json (and BENCH_campaign.json when
+  /// complete) without running a single job. `stopped` is recorded in
+  /// the manifest. Must not run concurrently with live workers.
+  StatusOr<CampaignReport> Merge(bool stopped);
+
+  /// Records a job the supervisor proved poisonous (its worker process
+  /// died on it repeatedly; bisection isolated it): appends `record` to
+  /// the owning shard's checkpoint — unless the id is already recorded —
+  /// and writes the quarantine .json/.scn pair. Must not run while a
+  /// worker owns that shard's checkpoint.
+  Status RecordPoisonJob(const JobRecord& record);
 
   /// The checkpoint path of `shard` under `out_dir`.
   static std::string ShardPath(const std::string& out_dir, int shard);

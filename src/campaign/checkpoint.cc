@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -173,7 +174,18 @@ Status WriteAll(int fd, const std::string& data, const std::string& path) {
   return Status::Ok();
 }
 
+/// Remaining successful appends before the test shim injects ENOSPC;
+/// -1 = shim off. Relaxed atomics: tests set it before the campaign
+/// starts and the exact interleaving of the final racing appends does
+/// not matter — at least one append fails, which is the property under
+/// test.
+std::atomic<int> g_append_failure_budget{-1};
+
 }  // namespace
+
+void SetCheckpointAppendFailureForTest(int successes) {
+  g_append_failure_budget.store(successes, std::memory_order_relaxed);
+}
 
 std::string EncodeJobRecord(const JobRecord& r) {
   return StrFormat(
@@ -216,7 +228,8 @@ StatusOr<JobRecord> DecodeJobRecord(const std::string& line) {
                                    line);
   }
   if (r.outcome != "ok" && r.outcome != "failed" &&
-      r.outcome != "timeout") {
+      r.outcome != "timeout" && r.outcome != "generator_defect" &&
+      r.outcome != "crash") {
     return Status::InvalidArgument("unknown checkpoint outcome: " + line);
   }
   r.attempts = static_cast<int>(attempts);
@@ -311,6 +324,14 @@ Status CheckpointWriter::AppendLine(const std::string& line) {
 
 Status CheckpointWriter::Append(const JobRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  int budget = g_append_failure_budget.load(std::memory_order_relaxed);
+  if (budget >= 0) {
+    if (budget == 0) {
+      return Status::Internal(StrFormat(
+          "write %s: No space left on device (injected)", path_.c_str()));
+    }
+    g_append_failure_budget.store(budget - 1, std::memory_order_relaxed);
+  }
   return AppendLine(EncodeJobRecord(record));
 }
 

@@ -16,8 +16,12 @@ namespace pcpda {
 /// merge step needs, so resuming never re-runs a recorded job.
 struct JobRecord {
   std::int64_t job_id = 0;
-  /// ToString(JobOutcome) for ok/failed/timeout. Cancelled and skipped
-  /// jobs are never recorded — resume re-runs them.
+  /// ToString(JobOutcome) for ok/failed/timeout, plus two outcomes that
+  /// only the campaign layers emit: "generator_defect" (the generated
+  /// scenario failed the lint pre-flight — a generator bug, not a
+  /// protocol failure) and "crash" (the worker *process* died on this
+  /// job; written by the supervisor after bisection isolates it).
+  /// Cancelled and skipped jobs are never recorded — resume re-runs them.
   std::string outcome = "ok";
   int attempts = 1;
   /// ToString of the final StatusCode ("Ok" when the job succeeded).
@@ -32,10 +36,13 @@ struct JobRecord {
   std::int64_t restarts = 0;
   std::int64_t deadlocks = 0;
 
-  /// Poisoned jobs (captured exception or watchdog timeout) that were
-  /// quarantined rather than merely failed.
+  /// Poisoned jobs (captured exception, watchdog timeout, lint-rejected
+  /// generated workload, or a worker-process death isolated by the
+  /// supervisor's bisection) that were quarantined rather than merely
+  /// failed.
   bool quarantined() const {
-    return outcome == "timeout" ||
+    return outcome == "timeout" || outcome == "generator_defect" ||
+           outcome == "crash" ||
            (outcome == "failed" && code == "Internal");
   }
   /// A run that finished clean with every deadline met — the numerator
@@ -108,6 +115,14 @@ class CheckpointWriter {
   bool fsync_ = true;
   std::string path_;
 };
+
+/// Failing-writer shim for robustness tests: after `successes` more
+/// record appends succeed, every further CheckpointWriter append fails
+/// as ENOSPC would (Internal, "No space left on device") without
+/// touching the file. -1 disables the shim (the default). Affects every
+/// writer in the process; tests must reset it. Header lines written by
+/// Open() do not consume the budget.
+void SetCheckpointAppendFailureForTest(int successes);
 
 /// Writes `contents` to `path` atomically: temp file in the same
 /// directory, fsync, rename over the target, fsync the directory. Readers

@@ -102,6 +102,60 @@ std::int64_t CampaignSpec::CellBegin(int shard) const {
   return s * base + std::min<std::int64_t>(s, extra);
 }
 
+int CampaignSpec::ShardOfJob(std::int64_t id) const {
+  PCPDA_CHECK(id >= 0 && id < num_jobs());
+  const std::int64_t cell = id / num_protocols();
+  // Shards hold contiguous cell ranges; a linear scan over the (small)
+  // shard count keeps the arithmetic in one obviously-correct place.
+  for (int shard = 0; shard < shards; ++shard) {
+    if (cell < CellBegin(shard + 1)) return shard;
+  }
+  PCPDA_CHECK_MSG(false, "unreachable: job id inside num_jobs()");
+  return shards - 1;
+}
+
+std::vector<std::string> CampaignSpec::ToFlags() const {
+  std::vector<std::string> flags;
+  flags.push_back(StrFormat("--seed=%llu",
+                            static_cast<unsigned long long>(base_seed)));
+  flags.push_back(StrFormat("--scenarios=%d", scenarios));
+  flags.push_back(StrFormat("--shards=%d", shards));
+  flags.push_back(StrFormat("--horizon=%lld",
+                            static_cast<long long>(horizon)));
+  flags.push_back(StrFormat("--max-sim-ticks=%lld",
+                            static_cast<long long>(max_sim_ticks)));
+  flags.push_back(StrFormat("--wall-budget-ms=%d", wall_budget_ms));
+  flags.push_back(StrFormat("--retries=%d", max_retries));
+  std::vector<std::string> utils;
+  utils.reserve(utilizations.size());
+  for (double u : utilizations) utils.push_back(StrFormat("%.17g", u));
+  flags.push_back("--utils=" + Join(utils, ","));
+  std::vector<std::string> protos;
+  protos.reserve(protocols.size());
+  for (ProtocolKind kind : protocols) protos.push_back(ToString(kind));
+  flags.push_back("--protocols=" + Join(protos, ","));
+  const WorkloadParams& w = workload;
+  flags.push_back(StrFormat("--dist=%s", ToString(w.distribution)));
+  flags.push_back(StrFormat("--txns=%d", w.num_transactions));
+  flags.push_back(StrFormat("--items=%d", w.num_items));
+  flags.push_back(StrFormat("--min-period=%lld",
+                            static_cast<long long>(w.min_period)));
+  flags.push_back(StrFormat("--max-period=%lld",
+                            static_cast<long long>(w.max_period)));
+  flags.push_back(StrFormat("--min-ops=%d", w.min_ops));
+  flags.push_back(StrFormat("--max-ops=%d", w.max_ops));
+  flags.push_back(StrFormat("--write-fraction=%.17g", w.write_fraction));
+  flags.push_back(
+      StrFormat("--task-util-min=%.17g", w.min_task_utilization));
+  flags.push_back(
+      StrFormat("--task-util-max=%.17g", w.max_task_utilization));
+  flags.push_back(StrFormat("--exp-mean=%.17g", w.exp_mean_utilization));
+  flags.push_back(StrFormat("--bimodal-split=%.17g", w.bimodal_split));
+  flags.push_back(
+      StrFormat("--bimodal-light=%.17g", w.bimodal_light_fraction));
+  return flags;
+}
+
 CampaignJob CampaignSpec::JobById(std::int64_t id) const {
   PCPDA_CHECK(id >= 0 && id < num_jobs());
   CampaignJob job;

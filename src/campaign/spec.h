@@ -98,8 +98,18 @@ struct CampaignSpec {
   /// First cell owned by `shard` (== num_cells() for shard == shards).
   std::int64_t CellBegin(int shard) const;
 
+  /// The shard owning global job id `id`.
+  int ShardOfJob(std::int64_t id) const;
+
   /// The job descriptor for a global job id.
   CampaignJob JobById(std::int64_t id) const;
+
+  /// Serializes every result-affecting field back into pcpda_campaign
+  /// CLI flags, the form the supervisor hands to forked workers. Doubles
+  /// are emitted with %.17g so the worker re-parses bit-identical values
+  /// and computes the same Fingerprint() — a mismatch would make the
+  /// worker refuse the shard checkpoint rather than silently remix.
+  std::vector<std::string> ToFlags() const;
 };
 
 }  // namespace pcpda

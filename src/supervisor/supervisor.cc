@@ -1,0 +1,627 @@
+#include "supervisor/supervisor.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <unordered_set>
+#include <utility>
+
+#include "campaign/checkpoint.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace pcpda {
+namespace {
+
+/// SIGCHLD self-pipe. The handler only writes one byte; everything else
+/// (waitpid, bookkeeping) happens in the poll loop. Static because
+/// sigaction handlers cannot carry state; Run() is documented as
+/// one-at-a-time per process.
+int g_sigchld_wfd = -1;
+
+void SigchldHandler(int) {
+  const int saved = errno;
+  if (g_sigchld_wfd >= 0) {
+    const char byte = 'c';
+    [[maybe_unused]] ssize_t n = ::write(g_sigchld_wfd, &byte, 1);
+  }
+  errno = saved;
+}
+
+Status ErrnoStatus(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+/// Signals whose delivery means the worker itself is defective (as
+/// opposed to killed from outside): these are what a poison job looks
+/// like from the parent.
+bool IsCrashSignal(int sig) {
+  return sig == SIGSEGV || sig == SIGABRT || sig == SIGBUS ||
+         sig == SIGILL || sig == SIGFPE;
+}
+
+int MillisUntil(std::chrono::steady_clock::time_point now,
+                std::chrono::steady_clock::time_point then) {
+  if (then <= now) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+      then - now);
+  return static_cast<int>(std::min<std::int64_t>(ms.count() + 1, 60'000));
+}
+
+}  // namespace
+
+Supervisor::Supervisor(CampaignSpec spec, SupervisorOptions options)
+    : spec_(std::move(spec)),
+      options_(std::move(options)),
+      campaign_(spec_,
+                [this] {
+                  CampaignOptions merge_options;
+                  merge_options.out_dir = options_.out_dir;
+                  merge_options.fsync = options_.fsync;
+                  return merge_options;
+                }()),
+      chaos_(ChaosSchedule::Make(options_.chaos_seed, options_.chaos_kills,
+                                 options_.chaos_stops)) {}
+
+bool Supervisor::ShardBusy(int shard) const {
+  for (const Worker& worker : live_) {
+    if (worker.task.shard == shard) return true;
+  }
+  return false;
+}
+
+StatusOr<std::vector<std::int64_t>> Supervisor::PendingJobs(
+    const Task& task) const {
+  auto loaded = LoadCheckpoint(
+      Campaign::ShardPath(options_.out_dir, task.shard),
+      spec_.Fingerprint());
+  if (!loaded.ok()) return loaded.status();
+  std::unordered_set<std::int64_t> recorded;
+  recorded.reserve(loaded->records.size());
+  for (const JobRecord& record : loaded->records) {
+    recorded.insert(record.job_id);
+  }
+  std::vector<std::int64_t> pending;
+  for (const CampaignJob& job : spec_.JobsForShard(task.shard)) {
+    if (task.lo >= 0 && job.id < task.lo) continue;
+    if (task.hi >= 0 && job.id >= task.hi) continue;
+    if (recorded.count(job.id)) continue;
+    pending.push_back(job.id);
+  }
+  return pending;
+}
+
+std::vector<std::string> Supervisor::WorkerArgs(const Task& task,
+                                                int hb_fd) const {
+  std::vector<std::string> args;
+  args.push_back(options_.worker_binary);
+  args.push_back("--worker");
+  args.push_back("--out=" + options_.out_dir);
+  args.push_back(StrFormat("--shard=%d", task.shard));
+  args.push_back(StrFormat("--jobs=%d", options_.worker_jobs));
+  args.push_back(StrFormat("--heartbeat-fd=%d", hb_fd));
+  for (std::string& flag : spec_.ToFlags()) {
+    args.push_back(std::move(flag));
+  }
+  if (!options_.fsync) args.push_back("--no-fsync");
+  if (!options_.lint_preflight) args.push_back("--no-lint-preflight");
+  if (task.lo >= 0) {
+    args.push_back(StrFormat("--job-first=%lld",
+                             static_cast<long long>(task.lo)));
+  }
+  if (task.hi >= 0) {
+    args.push_back(StrFormat("--job-last=%lld",
+                             static_cast<long long>(task.hi)));
+  }
+  if (options_.inject_crash_job >= 0) {
+    args.push_back(StrFormat("--inject-crash=%lld",
+                             static_cast<long long>(
+                                 options_.inject_crash_job)));
+  }
+  if (options_.inject_hang_job >= 0) {
+    args.push_back(StrFormat("--inject-hang=%lld",
+                             static_cast<long long>(
+                                 options_.inject_hang_job)));
+  }
+  if (options_.inject_segv_job >= 0) {
+    args.push_back(StrFormat("--inject-crash-job=%lld",
+                             static_cast<long long>(
+                                 options_.inject_segv_job)));
+  }
+  if (options_.inject_spin_job >= 0) {
+    args.push_back(StrFormat("--inject-spin-job=%lld",
+                             static_cast<long long>(
+                                 options_.inject_spin_job)));
+  }
+  return args;
+}
+
+int Supervisor::BackoffMs(const Task& task) const {
+  const int attempt = std::max(task.attempts, 1);
+  const int shift = std::min(attempt - 1, 20);
+  const std::int64_t base = std::max(options_.backoff_base_ms, 1);
+  std::int64_t delay =
+      std::min<std::int64_t>(base << shift,
+                             std::max(options_.backoff_cap_ms, 1));
+  // Deterministic jitter: seeded by (spec, shard, attempt), so reruns
+  // back off identically — debuggability beats decorrelation here.
+  const std::uint64_t jitter_stream =
+      SplitMixSeed(spec_.base_seed ^ 0x5c4eab150eULL,
+                   static_cast<std::uint64_t>(task.shard) * 1024u +
+                       static_cast<std::uint64_t>(attempt));
+  delay += static_cast<std::int64_t>(jitter_stream %
+                                     static_cast<std::uint64_t>(base));
+  return static_cast<int>(std::min<std::int64_t>(delay, 60'000));
+}
+
+Status Supervisor::Spawn(const Task& task) {
+  auto pending = PendingJobs(task);
+  if (!pending.ok()) return pending.status();
+  if (pending->empty()) return Status::Ok();  // finished by a prior worker
+
+  int fds[2];
+  if (::pipe(fds) != 0) return ErrnoStatus("pipe");
+  // Read end: supervisor-only. CLOEXEC keeps later workers from
+  // inheriting it; nonblocking because the poll loop drains it.
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  // The write end is deliberately NOT CLOEXEC: it must survive exec into
+  // the worker. It cannot leak into siblings because the parent closes
+  // it right after fork, before any other Spawn.
+
+  std::vector<std::string> args = WorkerArgs(task, fds[1]);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const ::pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return ErrnoStatus("fork");
+  }
+  if (pid == 0) {
+    // Child: async-signal-safe calls only between fork and exec.
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+
+  Worker worker;
+  worker.task = task;
+  worker.pid = pid;
+  worker.hb_fd = fds[0];
+  std::int64_t range_jobs = 0;
+  for (const CampaignJob& job : spec_.JobsForShard(task.shard)) {
+    if (task.lo >= 0 && job.id < task.lo) continue;
+    if (task.hi >= 0 && job.id >= task.hi) continue;
+    ++range_jobs;
+  }
+  worker.recorded_at_spawn =
+      range_jobs - static_cast<std::int64_t>(pending->size());
+  worker.started = Clock::now();
+  worker.last_beat = worker.started;
+  live_.push_back(worker);
+  ++stats_.workers_spawned;
+  return Status::Ok();
+}
+
+Status Supervisor::SpawnEligible() {
+  const auto now = Clock::now();
+  bool progress = true;
+  while (progress && !stopping_ && !fatal_ &&
+         static_cast<int>(live_.size()) < options_.max_workers) {
+    progress = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->eligible_at > now) continue;
+      if (ShardBusy(it->shard)) continue;
+      Task task = *it;
+      queue_.erase(it);
+      PCPDA_RETURN_IF_ERROR(Spawn(task));
+      progress = true;
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+void Supervisor::DrainHeartbeats(std::size_t worker_index) {
+  Worker& worker = live_[worker_index];
+  char buffer[256];
+  std::int64_t bytes = 0;
+  for (;;) {
+    const ssize_t n = ::read(worker.hb_fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      bytes += n;
+      continue;
+    }
+    break;  // 0 = worker closed its end (exit pending), <0 = EAGAIN/EINTR
+  }
+  if (bytes == 0) return;
+  stats_.heartbeats += bytes;
+  worker.last_beat = Clock::now();
+  // Chaos injections ride on heartbeats: the schedule's clock is total
+  // campaign progress, and the victim is whichever worker just proved it
+  // was alive — the cruellest possible moment to kill it.
+  while (const ChaosEvent* event =
+             chaos_.Due(static_cast<std::uint64_t>(stats_.heartbeats))) {
+    if (event->kill) {
+      ::kill(worker.pid, SIGKILL);
+      ++stats_.chaos_kills_injected;
+    } else {
+      ::kill(worker.pid, SIGSTOP);
+      ++stats_.chaos_stops_injected;
+    }
+    worker.chaos = true;
+  }
+}
+
+void Supervisor::CheckStalls() {
+  const auto now = Clock::now();
+  for (Worker& worker : live_) {
+    if (worker.term_sent) {
+      if (now - worker.term_at >=
+          std::chrono::milliseconds(options_.term_grace_ms)) {
+        ::kill(worker.pid, SIGKILL);
+      }
+      continue;
+    }
+    const bool stalled =
+        options_.stall_timeout_ms > 0 &&
+        now - worker.last_beat >=
+            std::chrono::milliseconds(options_.stall_timeout_ms);
+    const bool over_deadline =
+        options_.shard_deadline_ms > 0 &&
+        now - worker.started >=
+            std::chrono::milliseconds(options_.shard_deadline_ms);
+    if (!stalled && !over_deadline) continue;
+    // Escalation step 1: SIGTERM asks the worker to stop gracefully
+    // (it checkpoints per record, so nothing durable is at risk). A
+    // worker wedged in native code — or SIGSTOPped — ignores this and
+    // meets step 2 after term_grace_ms.
+    ::kill(worker.pid, SIGTERM);
+    worker.term_sent = true;
+    worker.term_at = now;
+    ++stats_.hang_escalations;
+  }
+}
+
+void Supervisor::RequestStop() {
+  if (stopping_) return;
+  stopping_ = true;
+  for (const Worker& worker : live_) {
+    ::kill(worker.pid, SIGTERM);
+  }
+}
+
+void Supervisor::HandleDeath(Worker worker, int wait_status) {
+  ::close(worker.hb_fd);
+  Task task = worker.task;
+
+  const bool exited = WIFEXITED(wait_status);
+  const int exit_code = exited ? WEXITSTATUS(wait_status) : -1;
+  const int sig = WIFSIGNALED(wait_status) ? WTERMSIG(wait_status) : 0;
+
+  auto pending = PendingJobs(task);
+  if (!pending.ok()) {
+    fatal_ = true;
+    fatal_status_ = pending.status();
+    return;
+  }
+
+  std::string death;
+  if (exited) {
+    death = StrFormat("exit %d", exit_code);
+  } else {
+    death = StrFormat("killed by signal %d (%s)%s", sig,
+                      ::strsignal(sig),
+                      worker.term_sent ? " after escalation" : "");
+  }
+
+  // Classify for the stats; the retry decision below only cares about
+  // voluntary vs involuntary and chaos vs genuine.
+  if (exited && exit_code == 0) {
+    ++stats_.clean_exits;
+  } else if (exited) {
+    ++stats_.error_exits;
+  } else if (IsCrashSignal(sig)) {
+    ++stats_.crash_deaths;
+  } else if (sig == SIGKILL && !worker.chaos && !worker.term_sent) {
+    ++stats_.kill_deaths;  // not ours, not chaos: the OOM killer's MO
+  } else if (!worker.chaos && !worker.term_sent) {
+    ++stats_.other_signal_deaths;
+  }
+
+  if (pending->empty()) return;  // task complete, however the worker died
+
+  if (stopping_) return;  // graceful stop: leave the remainder pending
+
+  if (worker.chaos) {
+    // Scheduled noise. The task goes straight back; chaos must never
+    // consume attempts or trip bisection, or the self-test could abandon
+    // work and break the byte-identity bar it exists to prove.
+    task.eligible_at = Clock::now();
+    queue_.push_back(task);
+    return;
+  }
+
+  // Progress = the checkpoint gained records during this worker's life.
+  // (A worker we SIGTERMed for stalling may still exit voluntarily with
+  // pending jobs — that is an answer to OUR signal, but the stall itself
+  // is evidence, so every death that reaches this point is judged.)
+  std::int64_t range_jobs = 0;
+  for (const CampaignJob& job : spec_.JobsForShard(task.shard)) {
+    if (task.lo >= 0 && job.id < task.lo) continue;
+    if (task.hi >= 0 && job.id >= task.hi) continue;
+    ++range_jobs;
+  }
+  const std::int64_t recorded_after =
+      range_jobs - static_cast<std::int64_t>(pending->size());
+  const bool made_progress = recorded_after > worker.recorded_at_spawn;
+
+  // Only process-killing deaths feed the bisection counter: a death by
+  // signal, or a SIGKILL after our own escalation. A voluntary nonzero
+  // exit (bad flags, exec failure's 127, an IO error) is the worker
+  // *telling* us something is wrong — deterministic maybe, but not a
+  // poison job, so it takes the retry/abandon path only.
+  const bool killing_death = !exited || worker.term_sent;
+  if (made_progress) {
+    task.deaths_without_progress = 0;
+  } else if (killing_death) {
+    ++task.deaths_without_progress;
+  }
+  ++task.attempts;
+
+  // Bisection: repeated deaths with zero checkpoint progress mean some
+  // job in the pending range deterministically kills its process.
+  // Splitting the range lets the healthy half complete while the hunt
+  // continues in the other; at a singleton, the culprit is proven.
+  if (task.deaths_without_progress >= options_.bisect_after) {
+    if (pending->size() == 1) {
+      JobRecord record;
+      record.job_id = pending->front();
+      record.outcome = "crash";
+      record.attempts = task.attempts;
+      record.code = "Internal";
+      record.message =
+          StrFormat("worker process died on this job %d times in a row "
+                    "without recording it (last: %s); isolated by range "
+                    "bisection and quarantined",
+                    task.deaths_without_progress, death.c_str());
+      const Status recorded = campaign_.RecordPoisonJob(record);
+      if (!recorded.ok()) {
+        fatal_ = true;
+        fatal_status_ = recorded;
+        return;
+      }
+      ++stats_.poison_jobs;
+      return;
+    }
+    const std::int64_t mid = (*pending)[pending->size() / 2];
+    Task left;
+    left.shard = task.shard;
+    left.lo = task.lo;
+    left.hi = mid;
+    Task right;
+    right.shard = task.shard;
+    right.lo = mid;
+    right.hi = task.hi;
+    const auto now = Clock::now();
+    left.eligible_at = now;
+    right.eligible_at = now;
+    queue_.push_back(left);
+    queue_.push_back(right);
+    ++stats_.bisections;
+    return;
+  }
+
+  if (task.attempts >= options_.max_task_attempts) {
+    // Give up on the range; its jobs stay pending and the final merge
+    // reports a partial campaign rather than looping forever.
+    ++stats_.abandoned_tasks;
+    return;
+  }
+
+  ++stats_.retries;
+  task.eligible_at =
+      Clock::now() + std::chrono::milliseconds(BackoffMs(task));
+  queue_.push_back(task);
+}
+
+void Supervisor::ReapAll() {
+  for (;;) {
+    int wait_status = 0;
+    const ::pid_t pid = ::waitpid(-1, &wait_status, WNOHANG);
+    if (pid <= 0) break;
+    auto it = std::find_if(live_.begin(), live_.end(),
+                           [pid](const Worker& w) { return w.pid == pid; });
+    if (it == live_.end()) continue;  // not ours (defensive)
+    // Drain any last heartbeats before judging progress — bytes written
+    // just before death still count.
+    DrainHeartbeats(static_cast<std::size_t>(it - live_.begin()));
+    Worker worker = *it;
+    live_.erase(it);
+    HandleDeath(std::move(worker), wait_status);
+  }
+}
+
+StatusOr<CampaignReport> Supervisor::Run() {
+  if (options_.out_dir.empty()) {
+    return Status::InvalidArgument("supervisor requires an out_dir");
+  }
+  if (options_.worker_binary.empty()) {
+    return Status::InvalidArgument("supervisor requires a worker binary");
+  }
+  if (options_.max_workers < 1) {
+    return Status::InvalidArgument("max_workers must be >= 1");
+  }
+  PCPDA_RETURN_IF_ERROR(spec_.Validate());
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.out_dir, ec);
+    if (ec) {
+      return Status::Internal(StrFormat("mkdir %s: %s",
+                                        options_.out_dir.c_str(),
+                                        ec.message().c_str()));
+    }
+  }
+
+  // SIGCHLD self-pipe + handler. SA_NOCLDSTOP: chaos SIGSTOPs must not
+  // look like deaths; only termination should wake the reaper.
+  int sigchld_pipe[2];
+  if (::pipe(sigchld_pipe) != 0) return ErrnoStatus("pipe");
+  for (int fd : {sigchld_pipe[0], sigchld_pipe[1]}) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+  }
+  g_sigchld_wfd = sigchld_pipe[1];
+  struct sigaction sigchld_action;
+  std::memset(&sigchld_action, 0, sizeof(sigchld_action));
+  sigchld_action.sa_handler = SigchldHandler;
+  sigemptyset(&sigchld_action.sa_mask);
+  sigchld_action.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+  struct sigaction old_sigchld;
+  ::sigaction(SIGCHLD, &sigchld_action, &old_sigchld);
+
+  for (int shard = 0; shard < spec_.shards; ++shard) {
+    Task task;
+    task.shard = shard;
+    task.eligible_at = Clock::now();
+    queue_.push_back(task);
+  }
+
+  Status loop_status = Status::Ok();
+  while (!fatal_) {
+    if (options_.signal_flag != nullptr && *options_.signal_flag != 0) {
+      RequestStop();
+    }
+    loop_status = SpawnEligible();
+    if (!loop_status.ok()) break;
+    if (live_.empty()) {
+      if (stopping_ || queue_.empty()) break;
+      // Everything queued is backing off or shard-blocked; sleep until
+      // the earliest becomes eligible.
+      auto next = queue_.front().eligible_at;
+      for (const Task& task : queue_) {
+        next = std::min(next, task.eligible_at);
+      }
+      const int wait_ms =
+          std::max(MillisUntil(Clock::now(), next), 1);
+      ::poll(nullptr, 0, std::min(wait_ms, 100));
+      continue;
+    }
+
+    std::vector<struct pollfd> fds;
+    fds.push_back({sigchld_pipe[0], POLLIN, 0});
+    if (options_.signal_rfd >= 0) {
+      fds.push_back({options_.signal_rfd, POLLIN, 0});
+    }
+    const std::size_t first_hb = fds.size();
+    for (const Worker& worker : live_) {
+      fds.push_back({worker.hb_fd, POLLIN, 0});
+    }
+
+    const int ready = ::poll(fds.data(),
+                             static_cast<nfds_t>(fds.size()), 50);
+    if (ready < 0 && errno != EINTR) {
+      loop_status = ErrnoStatus("poll");
+      break;
+    }
+    if (ready > 0) {
+      if (fds[0].revents & POLLIN) {
+        char sink[64];
+        while (::read(sigchld_pipe[0], sink, sizeof(sink)) > 0) {
+        }
+      }
+      if (options_.signal_rfd >= 0 && (fds[1].revents & POLLIN)) {
+        char sink[64];
+        while (::read(options_.signal_rfd, sink, sizeof(sink)) > 0) {
+        }
+        RequestStop();
+      }
+      // Heartbeats before reaping: progress must be visible before the
+      // death that follows it is judged. Index by position: live_ is
+      // stable between the poll and these reads.
+      for (std::size_t i = first_hb; i < fds.size(); ++i) {
+        if (fds[i].revents & (POLLIN | POLLHUP)) {
+          DrainHeartbeats(i - first_hb);
+        }
+      }
+    }
+    ReapAll();
+    CheckStalls();
+  }
+
+  // Drain any stragglers so no worker outlives (or is zombied by) the
+  // supervisor, even on the error paths above.
+  if (!live_.empty()) {
+    for (const Worker& worker : live_) {
+      ::kill(worker.pid, SIGKILL);
+    }
+    for (const Worker& worker : live_) {
+      int wait_status = 0;
+      ::waitpid(worker.pid, &wait_status, 0);
+      ::close(worker.hb_fd);
+    }
+    live_.clear();
+  }
+  ::sigaction(SIGCHLD, &old_sigchld, nullptr);
+  g_sigchld_wfd = -1;
+  ::close(sigchld_pipe[0]);
+  ::close(sigchld_pipe[1]);
+
+  if (fatal_) return fatal_status_;
+  PCPDA_RETURN_IF_ERROR(loop_status);
+
+  auto report = campaign_.Merge(stopping_);
+  if (!report.ok()) return report.status();
+
+  PCPDA_RETURN_IF_ERROR(WriteFileAtomic(
+      options_.out_dir + "/SUPERVISOR.json", RenderStats()));
+  return report;
+}
+
+std::string Supervisor::RenderStats() const {
+  const SupervisorStats& s = stats_;
+  return StrFormat(
+      "{\n"
+      "  \"workers_spawned\": %lld,\n"
+      "  \"clean_exits\": %lld,\n"
+      "  \"error_exits\": %lld,\n"
+      "  \"crash_deaths\": %lld,\n"
+      "  \"kill_deaths\": %lld,\n"
+      "  \"other_signal_deaths\": %lld,\n"
+      "  \"hang_escalations\": %lld,\n"
+      "  \"retries\": %lld,\n"
+      "  \"bisections\": %lld,\n"
+      "  \"poison_jobs\": %lld,\n"
+      "  \"abandoned_tasks\": %lld,\n"
+      "  \"chaos_kills_injected\": %lld,\n"
+      "  \"chaos_stops_injected\": %lld,\n"
+      "  \"heartbeats\": %lld\n"
+      "}\n",
+      static_cast<long long>(s.workers_spawned),
+      static_cast<long long>(s.clean_exits),
+      static_cast<long long>(s.error_exits),
+      static_cast<long long>(s.crash_deaths),
+      static_cast<long long>(s.kill_deaths),
+      static_cast<long long>(s.other_signal_deaths),
+      static_cast<long long>(s.hang_escalations),
+      static_cast<long long>(s.retries),
+      static_cast<long long>(s.bisections),
+      static_cast<long long>(s.poison_jobs),
+      static_cast<long long>(s.abandoned_tasks),
+      static_cast<long long>(s.chaos_kills_injected),
+      static_cast<long long>(s.chaos_stops_injected),
+      static_cast<long long>(s.heartbeats));
+}
+
+}  // namespace pcpda

@@ -502,5 +502,198 @@ TEST(CampaignTest, ExternalStopFlagSkipsEverything) {
       << "even an immediately-stopped campaign leaves a manifest";
 }
 
+// --- checkpoint torn-tail edge cases ---------------------------------------
+
+TEST(CheckpointTest, GarbageBytesAfterLastNewlineAreTornNotFatal) {
+  const fs::path dir = TestDir("torn_garbage");
+  const std::string path = (dir / "shard.ckpt").string();
+  JobRecord record = SampleRecord();
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.Open(path, "fp", 0, false).ok());
+  ASSERT_TRUE(writer.Append(record).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  // Not a JSON prefix at all: raw bytes a disk- or FS-level corruption
+  // (or a crash straddling an unrelated buffer) could leave behind.
+  {
+    std::ofstream tail(path, std::ios::app | std::ios::binary);
+    const std::string garbage("\x00\xff garbage \x7f", 13);
+    tail.write(garbage.data(),
+               static_cast<std::streamsize>(garbage.size()));
+  }
+  const auto loaded = LoadCheckpoint(path, "fp");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records, (std::vector<JobRecord>{record}));
+  EXPECT_GT(loaded->torn_bytes, 0);
+
+  CheckpointWriter resume;
+  ASSERT_TRUE(resume.Open(path, "fp", loaded->valid_bytes, false).ok());
+  ASSERT_TRUE(resume.Close().ok());
+  const auto clean = LoadCheckpoint(path, "fp");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->torn_bytes, 0) << "reopen must truncate the garbage";
+  EXPECT_EQ(clean->records, (std::vector<JobRecord>{record}));
+}
+
+TEST(CheckpointTest, ZeroLengthTrailingRecordIsRejectedAsTorn) {
+  const fs::path dir = TestDir("torn_empty");
+  const std::string path = (dir / "shard.ckpt").string();
+  JobRecord record = SampleRecord();
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.Open(path, "fp", 0, false).ok());
+  ASSERT_TRUE(writer.Append(record).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  // A lone '\n': a zero-length record line. It *is* newline-terminated,
+  // so naive tail handling would try to decode "" as a record; it must
+  // be treated as torn, not crash the load or sneak in as data.
+  {
+    std::ofstream tail(path, std::ios::app | std::ios::binary);
+    tail << "\n";
+  }
+  const auto loaded = LoadCheckpoint(path, "fp");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records, (std::vector<JobRecord>{record}));
+  EXPECT_GT(loaded->torn_bytes, 0);
+
+  CheckpointWriter resume;
+  ASSERT_TRUE(resume.Open(path, "fp", loaded->valid_bytes, false).ok());
+  JobRecord next = SampleRecord();
+  next.job_id = 43;
+  ASSERT_TRUE(resume.Append(next).ok());
+  ASSERT_TRUE(resume.Close().ok());
+  const auto reloaded = LoadCheckpoint(path, "fp");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->records, (std::vector<JobRecord>{record, next}));
+  EXPECT_EQ(reloaded->torn_bytes, 0);
+}
+
+TEST(CampaignTest, FingerprintMismatchedShardFileIsRefusedByRun) {
+  const fs::path dir = TestDir("fp_mismatch");
+  // A checkpoint from a *different* campaign (other seed) in our slot.
+  CampaignSpec other = SmallSpec();
+  other.base_seed = 999;
+  {
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer
+                    .Open(Campaign::ShardPath(dir.string(), 0),
+                          other.Fingerprint(), 0, false)
+                    .ok());
+    ASSERT_TRUE(writer.Append(SampleRecord()).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  Campaign campaign(SmallSpec(), DirOptions(dir));
+  const auto report = campaign.Run();
+  ASSERT_FALSE(report.ok())
+      << "resuming a different campaign's checkpoint must be refused, "
+         "never silently remixed";
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// --- ENOSPC injection (failing-writer shim) --------------------------------
+
+TEST(CampaignTest, AppendFailureAbortsCleanlyAndResumesByteIdentically) {
+  const fs::path dir = TestDir("enospc");
+  // Serial worker: after 5 records land the 6th append hits injected
+  // ENOSPC. The engine must fail loudly (exit-2 path), keep the durable
+  // prefix intact, and resume byte-identically once space is back.
+  SetCheckpointAppendFailureForTest(5);
+  Campaign campaign(SmallSpec(), DirOptions(dir, /*jobs=*/1));
+  const auto report = campaign.Run();
+  SetCheckpointAppendFailureForTest(-1);
+  ASSERT_FALSE(report.ok())
+      << "a lost append means lost durability; it must not be reported "
+         "as success";
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+  EXPECT_NE(report.status().message().find("No space left"),
+            std::string::npos)
+      << report.status().ToString();
+
+  const auto loaded = LoadCheckpoint(Campaign::ShardPath(dir.string(), 0),
+                                     SmallSpec().Fingerprint());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records.size(), 5u)
+      << "the records before the failure stay durable";
+
+  Campaign resume(SmallSpec(), DirOptions(dir));
+  const auto resumed = resume.Run();
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->merged);
+  EXPECT_EQ(MustRead(dir / "BENCH_campaign.json"), ReferenceBench());
+}
+
+// --- new outcomes: generator_defect and crash ------------------------------
+
+TEST(CheckpointTest, GeneratorDefectAndCrashOutcomesRoundTrip) {
+  for (const char* outcome : {"generator_defect", "crash"}) {
+    JobRecord record = SampleRecord();
+    record.outcome = outcome;
+    record.code = outcome == std::string("crash") ? "Internal"
+                                                  : "FailedPrecondition";
+    record.message = "why it was poisoned";
+    const auto decoded = DecodeJobRecord(EncodeJobRecord(record));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, record);
+    EXPECT_TRUE(decoded->quarantined()) << outcome;
+    EXPECT_FALSE(decoded->accepted()) << outcome;
+  }
+}
+
+TEST(CampaignTest, LintPreflightQuarantinesDefectiveCellAsGeneratorBug) {
+  const fs::path dir = TestDir("lint_preflight");
+  CampaignOptions options = DirOptions(dir);
+  options.inject_lint_defect_cell = 2;
+  Campaign campaign(SmallSpec(), options);
+  const auto report = campaign.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Both protocol jobs of cell 2 (ids 4 and 5) are rejected before any
+  // simulation; the campaign still completes and merges.
+  EXPECT_EQ(report->quarantined, 2);
+  EXPECT_EQ(report->ok, 10);
+  EXPECT_EQ(report->pending, 0);
+  EXPECT_TRUE(report->merged);
+
+  const auto loaded = LoadCheckpoint(Campaign::ShardPath(dir.string(), 0),
+                                     SmallSpec().Fingerprint());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  int defects = 0;
+  for (const JobRecord& record : loaded->records) {
+    if (record.job_id == 4 || record.job_id == 5) {
+      EXPECT_EQ(record.outcome, "generator_defect");
+      EXPECT_EQ(record.code, "FailedPrecondition");
+      EXPECT_EQ(record.attempts, 1)
+          << "a deterministic lint rejection must not be retried";
+      EXPECT_NE(record.message.find("lint pre-flight"), std::string::npos);
+      ++defects;
+    } else {
+      EXPECT_EQ(record.outcome, "ok") << "job " << record.job_id;
+    }
+  }
+  EXPECT_EQ(defects, 2);
+  // The offending scenario is quarantined for the generator's author.
+  EXPECT_TRUE(fs::exists(dir / "quarantine" / "job_000004.scn"));
+  EXPECT_TRUE(fs::exists(dir / "quarantine" / "job_000005.json"));
+
+  // The defect is charged to the generator, not the protocols: the
+  // merged bench must not count it in any protocol's failed tally.
+  const std::string bench = MustRead(dir / "BENCH_campaign.json");
+  EXPECT_NE(bench.find("\"generator_defect\""), std::string::npos);
+  EXPECT_EQ(bench.find("\"failed\": 1"), std::string::npos) << bench;
+}
+
+TEST(CampaignTest, LintPreflightOffRunsTheDefectiveCellAnyway) {
+  const fs::path dir = TestDir("lint_off");
+  CampaignOptions options = DirOptions(dir);
+  options.inject_lint_defect_cell = 2;
+  options.lint_preflight = false;
+  Campaign campaign(SmallSpec(), options);
+  const auto report = campaign.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The injected defect is a dangling `expect` assertion — lint-visible
+  // but harmless to simulate, so with the gate off everything passes.
+  EXPECT_EQ(report->ok, 12);
+  EXPECT_EQ(report->quarantined, 0);
+}
+
 }  // namespace
 }  // namespace pcpda

@@ -1,0 +1,321 @@
+// Tests for the process-isolated campaign supervisor (src/supervisor/):
+// the seeded chaos schedule, spec-to-flags serialization, and — spawning
+// the real pcpda_campaign binary as workers — end-to-end supervision:
+// byte-identical merges vs in-process runs, poison-job isolation by
+// bisection, chaos-kill recovery, and clean degradation when the worker
+// binary is broken.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/checkpoint.h"
+#include "campaign/spec.h"
+#include "supervisor/chaos.h"
+#include "supervisor/supervisor.h"
+
+namespace pcpda {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path TestDir(const std::string& name) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("supervisor_" + name);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Mirrors campaign_test's SmallSpec: 12 fast jobs across 2 shards.
+CampaignSpec SmallSpec() {
+  CampaignSpec spec;
+  spec.base_seed = 7;
+  spec.scenarios = 3;
+  spec.utilizations = {0.3, 0.6};
+  spec.protocols = {ProtocolKind::kPcpDa, ProtocolKind::kOpcp};
+  spec.horizon = 300;
+  spec.max_retries = 1;
+  spec.shards = 2;
+  spec.workload.num_transactions = 4;
+  spec.workload.num_items = 8;
+  return spec;
+}
+
+std::string MustRead(const fs::path& path) {
+  auto contents = ReadFileToString(path.string());
+  EXPECT_TRUE(contents.ok()) << path << ": "
+                             << contents.status().ToString();
+  return contents.ok() ? *contents : std::string();
+}
+
+// --- ChaosSchedule ---------------------------------------------------------
+
+TEST(ChaosScheduleTest, SeedDeterminesEventsExactly) {
+  const ChaosSchedule a = ChaosSchedule::Make(42, 10, 3);
+  const ChaosSchedule b = ChaosSchedule::Make(42, 10, 3);
+  ASSERT_EQ(a.events().size(), 13u);
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at_heartbeat, b.events()[i].at_heartbeat);
+    EXPECT_EQ(a.events()[i].kill, b.events()[i].kill);
+  }
+  // A different seed must produce a different interleaving or spacing
+  // (13 events with gap range [2,8] collide with ~0 probability).
+  const ChaosSchedule c = ChaosSchedule::Make(43, 10, 3);
+  bool differs = false;
+  for (std::size_t i = 0; i < c.events().size(); ++i) {
+    differs = differs ||
+              c.events()[i].at_heartbeat != a.events()[i].at_heartbeat ||
+              c.events()[i].kill != a.events()[i].kill;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChaosScheduleTest, KindCountsAndGapBoundsHold) {
+  const ChaosSchedule schedule = ChaosSchedule::Make(7, 12, 5);
+  int kills = 0, stops = 0;
+  std::uint64_t prev = 0;
+  for (const ChaosEvent& event : schedule.events()) {
+    (event.kill ? kills : stops)++;
+    const std::uint64_t gap = event.at_heartbeat - prev;
+    EXPECT_GE(gap, 2u);
+    EXPECT_LE(gap, 8u);
+    prev = event.at_heartbeat;
+  }
+  EXPECT_EQ(kills, 12);
+  EXPECT_EQ(stops, 5);
+}
+
+TEST(ChaosScheduleTest, DueAdvancesPastReturnedEvents) {
+  ChaosSchedule schedule = ChaosSchedule::Make(1, 3, 0);
+  EXPECT_TRUE(schedule.active());
+  EXPECT_EQ(schedule.Due(0), nullptr) << "no event is due before gap 2";
+  // At a heartbeat count past the last event, Due drains one per call.
+  int drained = 0;
+  while (schedule.Due(1'000'000) != nullptr) ++drained;
+  EXPECT_EQ(drained, 3);
+  EXPECT_FALSE(schedule.active());
+}
+
+TEST(ChaosScheduleTest, EmptyScheduleIsInert) {
+  ChaosSchedule schedule = ChaosSchedule::Make(9, 0, 0);
+  EXPECT_FALSE(schedule.active());
+  EXPECT_EQ(schedule.Due(1'000'000), nullptr);
+}
+
+// --- CampaignSpec::ToFlags and ShardOfJob ----------------------------------
+
+TEST(SpecFlagsTest, ShardOfJobInvertsJobsForShard) {
+  CampaignSpec spec = SmallSpec();
+  spec.scenarios = 5;
+  spec.shards = 3;
+  for (int shard = 0; shard < spec.shards; ++shard) {
+    for (const CampaignJob& job : spec.JobsForShard(shard)) {
+      EXPECT_EQ(spec.ShardOfJob(job.id), shard) << "job " << job.id;
+    }
+  }
+}
+
+TEST(SpecFlagsTest, ToFlagsRoundTripsDoublesBitExactly) {
+  CampaignSpec spec = SmallSpec();
+  // Values with no short decimal representation: %.17g must carry them
+  // through the exec boundary bit-exactly or the worker's fingerprint
+  // would diverge from the supervisor's.
+  spec.utilizations = {0.1 + 0.2, 1.0 / 3.0};
+  spec.workload.write_fraction = 2.0 / 7.0;
+  bool checked_utils = false;
+  for (const std::string& flag : spec.ToFlags()) {
+    if (flag.rfind("--utils=", 0) == 0) {
+      const std::string list = flag.substr(std::string("--utils=").size());
+      const std::size_t comma = list.find(',');
+      ASSERT_NE(comma, std::string::npos);
+      EXPECT_EQ(std::strtod(list.substr(0, comma).c_str(), nullptr),
+                0.1 + 0.2);
+      EXPECT_EQ(std::strtod(list.substr(comma + 1).c_str(), nullptr),
+                1.0 / 3.0);
+      checked_utils = true;
+    }
+    if (flag.rfind("--write-fraction=", 0) == 0) {
+      EXPECT_EQ(
+          std::strtod(flag.c_str() + std::string("--write-fraction=").size(),
+                      nullptr),
+          2.0 / 7.0);
+    }
+  }
+  EXPECT_TRUE(checked_utils);
+}
+
+TEST(SpecFlagsTest, ToFlagsCoversEveryFingerprintField) {
+  // Every flag a worker needs to recompute the fingerprint must be
+  // present; a missing one would surface as a checkpoint refusal at
+  // runtime, this catches it at unit-test time.
+  const std::set<std::string> expected = {
+      "--seed",          "--scenarios",     "--shards",
+      "--horizon",       "--max-sim-ticks", "--wall-budget-ms",
+      "--retries",       "--utils",         "--protocols",
+      "--dist",          "--txns",          "--items",
+      "--min-period",    "--max-period",    "--min-ops",
+      "--max-ops",       "--write-fraction", "--task-util-min",
+      "--task-util-max", "--exp-mean",      "--bimodal-split",
+      "--bimodal-light"};
+  std::set<std::string> seen;
+  for (const std::string& flag : SmallSpec().ToFlags()) {
+    const std::size_t eq = flag.find('=');
+    ASSERT_NE(eq, std::string::npos) << flag;
+    seen.insert(flag.substr(0, eq));
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+// --- end-to-end supervision (spawns the real worker binary) ----------------
+
+#ifdef PCPDA_BINARY_DIR
+
+std::string WorkerBinary() {
+  return std::string(PCPDA_BINARY_DIR "/examples/pcpda_campaign");
+}
+
+SupervisorOptions FastOptions(const fs::path& dir) {
+  SupervisorOptions options;
+  options.out_dir = dir.string();
+  options.worker_binary = WorkerBinary();
+  options.max_workers = 2;
+  options.worker_jobs = 2;
+  options.fsync = false;  // logic tests; durability is the smoke's job
+  options.stall_timeout_ms = 5'000;
+  options.term_grace_ms = 1'000;
+  options.backoff_base_ms = 10;
+  options.backoff_cap_ms = 50;
+  return options;
+}
+
+/// The BENCH bytes of an undisturbed in-process run — the golden value
+/// every supervised run must reproduce byte-identically.
+const std::string& ReferenceBench() {
+  static const std::string* bench = [] {
+    const fs::path dir =
+        TestDir("reference_" + std::to_string(::getpid()));
+    CampaignOptions options;
+    options.out_dir = dir.string();
+    options.jobs = 2;
+    options.fsync = false;
+    Campaign campaign(SmallSpec(), options);
+    auto report = campaign.Run();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->merged);
+    return new std::string(MustRead(dir / "BENCH_campaign.json"));
+  }();
+  return *bench;
+}
+
+TEST(SupervisorTest, SupervisedRunMergesByteIdenticallyToInProcess) {
+  const fs::path dir = TestDir("clean");
+  Supervisor supervisor(SmallSpec(), FastOptions(dir));
+  const auto report = supervisor.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->merged);
+  EXPECT_EQ(report->ok, 12);
+  EXPECT_EQ(report->pending, 0);
+  EXPECT_EQ(MustRead(dir / "BENCH_campaign.json"), ReferenceBench());
+  const SupervisorStats& stats = supervisor.stats();
+  EXPECT_EQ(stats.workers_spawned, 2) << "one worker per shard";
+  EXPECT_EQ(stats.clean_exits, 2);
+  EXPECT_EQ(stats.crash_deaths, 0);
+  EXPECT_GE(stats.heartbeats, 12) << "one per record plus startup";
+  EXPECT_TRUE(fs::exists(dir / "SUPERVISOR.json"));
+}
+
+TEST(SupervisorTest, PoisonJobIsBisectedQuarantinedAndOnlyIt) {
+  const fs::path dir = TestDir("poison");
+  CampaignSpec spec = SmallSpec();
+  SupervisorOptions options = FastOptions(dir);
+  // Job 1 of 12 SIGSEGVs its process on every attempt. Serial workers
+  // (worker_jobs=1) leave jobs 2..5 of shard 0 unrecorded behind it, so
+  // only bisection can get them done.
+  options.worker_jobs = 1;
+  options.inject_segv_job = 1;
+  Supervisor supervisor(spec, options);
+  const auto report = supervisor.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->merged)
+      << "the poison job must not block the campaign";
+  EXPECT_EQ(report->ok, 11);
+  EXPECT_EQ(report->quarantined, 1);
+  EXPECT_EQ(report->pending, 0);
+
+  const SupervisorStats& stats = supervisor.stats();
+  EXPECT_GE(stats.crash_deaths, 2);
+  EXPECT_GE(stats.bisections, 1)
+      << "jobs 2..5 pending behind the poison force a range split";
+  EXPECT_EQ(stats.poison_jobs, 1);
+  EXPECT_EQ(stats.abandoned_tasks, 0);
+
+  // Exactly the poison job carries outcome "crash"; it is quarantined
+  // with a replayable .scn like any other poisoned job.
+  const auto loaded = LoadCheckpoint(Campaign::ShardPath(dir.string(), 0),
+                                     spec.Fingerprint());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  int crashes = 0;
+  for (const JobRecord& record : loaded->records) {
+    if (record.outcome == "crash") {
+      EXPECT_EQ(record.job_id, 1);
+      EXPECT_EQ(record.code, "Internal");
+      EXPECT_TRUE(record.quarantined());
+      ++crashes;
+    }
+  }
+  EXPECT_EQ(crashes, 1);
+  EXPECT_TRUE(fs::exists(dir / "quarantine" / "job_000001.json"));
+  EXPECT_TRUE(fs::exists(dir / "quarantine" / "job_000001.scn"));
+}
+
+TEST(SupervisorTest, ChaosKillsCostRetriesNeverResults) {
+  const fs::path dir = TestDir("chaos");
+  SupervisorOptions options = FastOptions(dir);
+  options.chaos_seed = 1234;
+  options.chaos_kills = 4;  // sized to the 12-job grid's heartbeat count
+  Supervisor supervisor(SmallSpec(), options);
+  const auto report = supervisor.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->merged);
+  EXPECT_EQ(report->ok, 12);
+  EXPECT_EQ(report->quarantined, 0);
+  EXPECT_EQ(MustRead(dir / "BENCH_campaign.json"), ReferenceBench())
+      << "chaos may cost respawns, never a byte of the merged result";
+  const SupervisorStats& stats = supervisor.stats();
+  EXPECT_GE(stats.chaos_kills_injected, 1);
+  EXPECT_EQ(stats.abandoned_tasks, 0)
+      << "chaos deaths must not consume task attempts";
+  EXPECT_EQ(stats.poison_jobs, 0)
+      << "chaos deaths must not trip bisection into false positives";
+}
+
+TEST(SupervisorTest, BrokenWorkerBinaryDegradesToAbandonedTasksNotHang) {
+  const fs::path dir = TestDir("broken");
+  SupervisorOptions options = FastOptions(dir);
+  options.worker_binary = "/nonexistent/worker";
+  options.max_task_attempts = 2;
+  Supervisor supervisor(SmallSpec(), options);
+  const auto report = supervisor.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->merged);
+  EXPECT_EQ(report->pending, 12) << "nothing ran, nothing lost";
+  const SupervisorStats& stats = supervisor.stats();
+  EXPECT_EQ(stats.abandoned_tasks, 2);
+  EXPECT_GE(stats.error_exits, 2) << "exec failure exits 127";
+  // The partial manifest still lands, so the failure is diagnosable.
+  EXPECT_TRUE(fs::exists(dir / "MANIFEST.json"));
+}
+
+#endif  // PCPDA_BINARY_DIR
+
+}  // namespace
+}  // namespace pcpda
