@@ -43,10 +43,15 @@ void Usage(const char* argv0) {
       "  --replay=DIR      replay every .scn in DIR through the oracle\n"
       "                    stack before the generated campaign (e.g. a\n"
       "                    campaign quarantine or an earlier corpus)\n"
-      "  --break=MODE      intentionally break PCP-DA: tstar, wr, or all\n"
-      "                    (oracle-stack self-test; tstar/all must produce\n"
-      "                    findings — wr alone is empirically benign, see\n"
-      "                    EXPERIMENTS.md E13)\n",
+      "  --break=MODE      oracle-stack self-test, must produce findings:\n"
+      "                    tstar, wr, all   disable PCP-DA locking guards\n"
+      "                                     (wr alone is empirically\n"
+      "                                     benign, see EXPERIMENTS.md E13)\n"
+      "                    bound            zero out the analytical B_i so\n"
+      "                                     blocking-bound must fire\n"
+      "                    rta              optimistic response-time\n"
+      "                                     analysis (B_i = 0, no restart\n"
+      "                                     costs) so sched-sound must fire\n",
       argv0);
 }
 
@@ -118,6 +123,10 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(value, "all") == 0) {
         options.oracles.pcp_da.enable_tstar_guard = false;
         options.oracles.pcp_da.enable_wr_guard = false;
+      } else if (std::strcmp(value, "bound") == 0) {
+        options.oracles.analysis_defect = AnalysisDefect::kZeroBlockingBound;
+      } else if (std::strcmp(value, "rta") == 0) {
+        options.oracles.analysis_defect = AnalysisDefect::kOptimisticRta;
       } else {
         Usage(argv[0]);
         return 2;

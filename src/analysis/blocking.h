@@ -11,37 +11,69 @@
 
 namespace pcpda {
 
-/// The Section-9 worst-case blocking analysis for one transaction.
+/// A higher-priority spec whose activity can force T_i to restart
+/// (2PL-HP lock-conflict aborts, OCC validation/snapshot aborts). Feeds
+/// the restart-cost term of the response-time analysis.
+struct RestartSource {
+  /// The aborting spec; always of higher priority than the victim.
+  SpecId spec = kInvalidSpec;
+  /// Max aborts of one victim instance that one release of `spec` can
+  /// cause (2PL-HP: one per conflicting lock request; OCC: one per
+  /// commit).
+  int per_release = 0;
+};
+
+/// The worst-case blocking analysis for one transaction.
 struct SpecBlocking {
   /// BTS_i: the specs (all of lower priority) that may block T_i.
   std::vector<SpecId> bts;
-  /// B_i: the worst-case blocking time.
+  /// B_i: the worst-case effective blocking time. Meaningless when
+  /// `bounded` is false (the accessors refuse to read it).
   Tick worst_blocking = 0;
+  /// False when no finite B_i exists for this spec (2PL-PI).
+  bool bounded = true;
+  /// Restart sources, in priority order (restart protocols only).
+  std::vector<RestartSource> restart_sources;
 };
 
 /// The analysis for a whole set under one protocol.
 struct BlockingAnalysis {
   ProtocolKind protocol = ProtocolKind::kPcpDa;
+  /// True iff every spec has a finite bound; false exactly for the
+  /// kUnbounded trait kinds (2PL-PI).
+  bool bounded = true;
   std::vector<SpecBlocking> per_spec;
 
-  Tick B(SpecId spec) const {
-    return per_spec[static_cast<std::size_t>(spec)].worst_blocking;
-  }
+  /// B_i. Checks that `spec` is in range and that its bound is finite —
+  /// an out-of-range id or an unbounded protocol is a caller bug, not a
+  /// silent garbage read.
+  Tick B(SpecId spec) const;
+  /// The full per-spec record, range-checked like B().
+  const SpecBlocking& ForSpec(SpecId spec) const;
+  /// All B_i in priority order; every spec must be bounded.
   std::vector<Tick> AllB() const;
   std::string DebugString(const TransactionSet& set) const;
 };
 
-/// Computes BTS_i and B_i for every spec under `protocol` (Section 9):
+/// Computes BTS_i and B_i for every spec under `protocol`, dispatched on
+/// ProtocolTraits::blocking_bound:
 ///
-///   PCP-DA:  BTS_i = { T_L | P_L < P_i, T_L reads some x with
-///                      Wceil(x) >= P_i };  B_i = max C_L.
-///   RW-PCP:  additionally T_L with a write of x where Aceil(x) >= P_i.
-///   PCP:     T_L accessing any x with Aceil(x) >= P_i.
-///   CCP:     BTS as RW-PCP, but B_i uses the convex holding window of the
-///            offending items instead of the full C_L (early unlocking).
-///
-/// Only the four ceiling protocols are analyzable; 2PL-PI has unbounded
-/// chained blocking and 2PL-HP unbounded restarts.
+///   kCeiling (Section 9):
+///     PCP-DA:  BTS_i = { T_L | P_L < P_i, T_L reads some x with
+///              Wceil(x) >= P_i };  B_i = max C_L.
+///     RW-PCP:  additionally T_L with a write of x where Aceil(x) >= P_i.
+///     PCP:     T_L accessing any x with Aceil(x) >= P_i.
+///     CCP:     BTS as RW-PCP, but B_i uses the convex holding window of
+///              the offending items instead of the full C_L.
+///   kPushThrough (2PL-HP): BTS_i = lower T_L whose access set conflicts
+///     with T_i (a rider in a mixed holder set); B_i = sum of their C_L.
+///     Higher-priority conflicting specs become restart sources (their
+///     winning requests abort T_i).
+///   kNone (OCC-BC/OCC-DA): never blocks, B_i = 0; higher-priority specs
+///     whose write set intersects T_i's read set become restart sources
+///     (their commits invalidate T_i).
+///   kUnbounded (2PL-PI): every spec is marked unbounded — chained
+///     blocking has no finite bound — instead of a hard error.
 BlockingAnalysis ComputeBlocking(const TransactionSet& set,
                                  ProtocolKind protocol);
 

@@ -2,13 +2,55 @@
 
 #include <vector>
 
-#include "analysis/blocking.h"
-#include "analysis/response_time.h"
 #include "analysis/rm_bound.h"
 #include "common/strings.h"
-#include "protocols/factory.h"
 
 namespace pcpda {
+namespace {
+
+/// JSON string escaping (same rules as the lint/campaign renderers):
+/// names are plain ASCII by construction, but escape the structural
+/// characters so arbitrary scenario names cannot corrupt the framing.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Prefixes every line of `text` with `pad` spaces.
+std::string Indent(const std::string& text, int pad) {
+  const std::string prefix(static_cast<std::size_t>(pad), ' ');
+  std::string out = prefix;
+  for (char c : text) {
+    out += c;
+    if (c == '\n') out += prefix;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string BlockingComparisonTable(const TransactionSet& set) {
   const auto kinds = AnalyzableProtocolKinds();
@@ -68,6 +110,90 @@ std::string SchedulabilityReport(const TransactionSet& set) {
                                 : rta.status().ToString());
   }
   return Join(sections, "\n");
+}
+
+bool AnalysisReport::AnyVerdict(SchedVerdict verdict) const {
+  for (const ProtocolAnalysis& pa : per_protocol) {
+    if (pa.sched.verdict == verdict) return true;
+  }
+  return false;
+}
+
+AnalysisReport AnalyzeSet(const TransactionSet& set,
+                          const std::vector<ProtocolKind>& kinds) {
+  AnalysisReport report;
+  report.per_protocol.reserve(kinds.size());
+  for (ProtocolKind kind : kinds) {
+    ProtocolAnalysis pa;
+    pa.protocol = kind;
+    pa.blocking = ComputeBlocking(set, kind);
+    pa.sched = AnalyzeResponseTimes(set, pa.blocking);
+    report.per_protocol.push_back(std::move(pa));
+  }
+  return report;
+}
+
+std::string RenderAnalysisText(const std::string& file,
+                               const TransactionSet& set,
+                               const AnalysisReport& report) {
+  std::vector<std::string> lines;
+  for (const ProtocolAnalysis& pa : report.per_protocol) {
+    lines.push_back(StrFormat("%s: %s: %s", file.c_str(),
+                              ToString(pa.protocol),
+                              ToString(pa.sched.verdict)));
+    lines.push_back(Indent(pa.blocking.DebugString(set), 2));
+    lines.push_back(Indent(pa.sched.DebugString(set), 2));
+  }
+  return Join(lines, "\n") + "\n";
+}
+
+std::string RenderAnalysisJson(const std::string& file,
+                               const TransactionSet& set,
+                               const AnalysisReport& report) {
+  std::vector<std::string> protocol_entries;
+  for (const ProtocolAnalysis& pa : report.per_protocol) {
+    std::vector<std::string> spec_entries;
+    for (SpecId i = 0; i < set.size(); ++i) {
+      const SpecBlocking& sb = pa.blocking.ForSpec(i);
+      const SpecSchedResult& sr =
+          pa.sched.per_spec[static_cast<std::size_t>(i)];
+      std::vector<std::string> bts_names;
+      for (SpecId l : sb.bts) {
+        bts_names.push_back(
+            StrFormat("\"%s\"", JsonEscape(set.spec(l).name).c_str()));
+      }
+      std::vector<std::string> restarts;
+      for (const RestartSource& source : sb.restart_sources) {
+        restarts.push_back(StrFormat(
+            "{\"spec\": \"%s\", \"per_release\": %d}",
+            JsonEscape(set.spec(source.spec).name).c_str(),
+            source.per_release));
+      }
+      const std::string b_text =
+          sb.bounded
+              ? StrFormat("%lld", static_cast<long long>(sb.worst_blocking))
+              : std::string("null");
+      const std::string response_text =
+          sr.response == kNoTick
+              ? std::string("null")
+              : StrFormat("%lld", static_cast<long long>(sr.response));
+      spec_entries.push_back(StrFormat(
+          "        {\"name\": \"%s\", \"B\": %s, \"response\": %s, "
+          "\"verdict\": \"%s\", \"bts\": [%s], \"restarts\": [%s]}",
+          JsonEscape(set.spec(i).name).c_str(), b_text.c_str(),
+          response_text.c_str(), ToString(sr.verdict),
+          Join(bts_names, ", ").c_str(), Join(restarts, ", ").c_str()));
+    }
+    protocol_entries.push_back(StrFormat(
+        "    {\"protocol\": \"%s\", \"verdict\": \"%s\", "
+        "\"bounded\": %s,\n      \"specs\": [\n%s\n      ]}",
+        ToString(pa.protocol), ToString(pa.sched.verdict),
+        pa.blocking.bounded ? "true" : "false",
+        Join(spec_entries, ",\n").c_str()));
+  }
+  return StrFormat("{\n  \"file\": \"%s\",\n  \"protocols\": [\n%s\n  ]\n}",
+                   JsonEscape(file).c_str(),
+                   Join(protocol_entries, ",\n").c_str());
 }
 
 }  // namespace pcpda

@@ -1,5 +1,6 @@
 #include "analysis/response_time.h"
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace pcpda {
@@ -75,6 +76,122 @@ std::string ResponseTimeResult::DebugString(
   }
   lines.push_back(std::string("overall: ") +
                   (schedulable ? "schedulable" : "NOT schedulable"));
+  return Join(lines, "\n");
+}
+
+const char* ToString(SchedVerdict verdict) {
+  switch (verdict) {
+    case SchedVerdict::kSchedulable:
+      return "schedulable";
+    case SchedVerdict::kUnschedulable:
+      return "unschedulable";
+    case SchedVerdict::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+SchedAnalysis AnalyzeResponseTimes(const TransactionSet& set,
+                                   const BlockingAnalysis& blocking) {
+  PCPDA_CHECK_MSG(blocking.per_spec.size() ==
+                      static_cast<std::size_t>(set.size()),
+                  "blocking analysis does not match the transaction set");
+  SchedAnalysis out;
+  out.per_spec.resize(static_cast<std::size_t>(set.size()));
+
+  bool periodic = set.size() > 0;
+  for (SpecId i = 0; i < set.size(); ++i) {
+    if (set.spec(i).period <= 0) periodic = false;
+  }
+  if (!periodic) return out;  // all verdicts stay kUnknown
+
+  bool any_unschedulable = false;
+  bool all_schedulable = true;
+  // True while every higher-priority spec earned kSchedulable: only then
+  // is the ceil(R/Pd) interference term (no carry-in backlog) sound for
+  // the current spec.
+  bool claim_sound = true;
+  // Worst-case CPU demand one release of each spec can impose on lower
+  // priorities: C_j plus its own abort re-executions. A restarting
+  // higher spec consumes more than C_j per release, so interference
+  // terms must use this, not the bare execution time. Only read for
+  // specs that earned kSchedulable (the cascade suppresses claims
+  // otherwise), so the value after a diverged fixpoint is irrelevant.
+  std::vector<Tick> demand(static_cast<std::size_t>(set.size()), 0);
+  for (SpecId i = 0; i < set.size(); ++i) {
+    SpecSchedResult& sr = out.per_spec[static_cast<std::size_t>(i)];
+    const SpecBlocking& sb = blocking.ForSpec(i);
+    const Tick c_i = set.spec(i).ExecutionTime();
+    demand[static_cast<std::size_t>(i)] = c_i;
+    if (!sb.bounded) {
+      all_schedulable = false;
+      claim_sound = false;
+      continue;  // kUnknown: no finite blocking term exists
+    }
+    const Tick deadline = set.RelativeDeadline(i);
+    const Tick b_i = sb.worst_blocking;
+    Tick r = c_i + b_i;
+    Tick aborts = 0;
+    for (;;) {
+      Tick next = c_i + b_i;
+      for (SpecId j = 0; j < i; ++j) {
+        const Tick pd_j = set.spec(j).period;
+        next += ((r + pd_j - 1) / pd_j) *
+                demand[static_cast<std::size_t>(j)];
+      }
+      aborts = 0;
+      for (const RestartSource& source : sb.restart_sources) {
+        const Tick pd_s = set.spec(source.spec).period;
+        const Tick activations = (r + pd_s - 1) / pd_s + 1;  // + carry-in
+        aborts += activations * source.per_release;
+      }
+      // Each abort wastes up to a full re-execution plus a fresh
+      // blocking episode on the retry.
+      next += aborts * (c_i + b_i);
+      if (next == r) break;
+      r = next;
+      if (r > deadline) break;  // diverged past the deadline
+    }
+    if (r > deadline) {
+      sr.response = kNoTick;
+      sr.verdict = SchedVerdict::kUnschedulable;
+      any_unschedulable = true;
+    } else {
+      sr.response = r;
+      sr.verdict = claim_sound ? SchedVerdict::kSchedulable
+                               : SchedVerdict::kUnknown;
+      demand[static_cast<std::size_t>(i)] = c_i + aborts * c_i;
+    }
+    if (sr.verdict != SchedVerdict::kSchedulable) {
+      all_schedulable = false;
+      claim_sound = false;
+    }
+  }
+  out.verdict = any_unschedulable ? SchedVerdict::kUnschedulable
+               : all_schedulable  ? SchedVerdict::kSchedulable
+                                  : SchedVerdict::kUnknown;
+  return out;
+}
+
+std::string SchedAnalysis::DebugString(const TransactionSet& set) const {
+  std::vector<std::string> lines;
+  for (SpecId i = 0; i < set.size(); ++i) {
+    const SpecSchedResult& r = per_spec[static_cast<std::size_t>(i)];
+    const Tick deadline = set.RelativeDeadline(i);
+    std::string response_text =
+        r.response == kNoTick
+            ? std::string("-")
+            : StrFormat("%lld", static_cast<long long>(r.response));
+    std::string deadline_text =
+        deadline == kNoTick
+            ? std::string("-")
+            : StrFormat("%lld", static_cast<long long>(deadline));
+    lines.push_back(StrFormat("%s: R=%s (D=%s) %s",
+                              set.spec(i).name.c_str(),
+                              response_text.c_str(), deadline_text.c_str(),
+                              ToString(r.verdict)));
+  }
+  lines.push_back(std::string("overall: ") + ToString(verdict));
   return Join(lines, "\n");
 }
 

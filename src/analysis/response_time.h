@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/blocking.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "txn/spec.h"
@@ -36,6 +37,62 @@ struct ResponseTimeResult {
 /// with worst-case blocking `b` per spec.
 StatusOr<ResponseTimeResult> ResponseTimeAnalysis(const TransactionSet& set,
                                                   const std::vector<Tick>& b);
+
+/// Three-valued schedulability verdict. kUnknown is an honest refusal,
+/// not a failure: the set is outside the analysis model (one-shot specs,
+/// an unbounded protocol, or a higher-priority spec whose own verdict
+/// already fell) so neither "schedulable" nor "unschedulable" would be
+/// sound.
+enum class SchedVerdict : std::uint8_t {
+  kSchedulable,
+  kUnschedulable,
+  kUnknown,
+};
+
+const char* ToString(SchedVerdict verdict);
+
+struct SpecSchedResult {
+  /// Worst-case response fixpoint; kNoTick when diverged or unknown.
+  Tick response = kNoTick;
+  SchedVerdict verdict = SchedVerdict::kUnknown;
+};
+
+struct SchedAnalysis {
+  std::vector<SpecSchedResult> per_spec;
+  /// Aggregate: kSchedulable iff every spec is, kUnschedulable if any
+  /// spec is, kUnknown otherwise.
+  SchedVerdict verdict = SchedVerdict::kUnknown;
+
+  std::string DebugString(const TransactionSet& set) const;
+};
+
+/// The protocol-aware schedulability test: the response-time fixpoint
+/// with the protocol's blocking term B_i plus a restart-cost term for
+/// restart-resolved protocols (2PL-HP aborts, OCC validation aborts) —
+/// every abort wastes up to a full re-execution plus a fresh blocking
+/// episode on the retry:
+///
+///   R_i = C_i + B_i + sum_{j < i} ceil(R_i / Pd_j) D_j
+///             + sum_{s in restarts_i} (ceil(R_i / Pd_s) + 1) m_s
+///               (C_i + B_i)
+///
+/// where D_j is one release's worst-case CPU demand of T_j: C_j plus
+/// T_j's own abort re-executions (a restarting higher spec interferes
+/// beyond its bare execution time).
+///
+/// Verdict rules:
+///   - a non-periodic set (any one-shot spec) is kUnknown throughout —
+///     the critical-instant argument needs periods;
+///   - a spec without a finite B_i (2PL-PI) is kUnknown;
+///   - a diverging fixpoint (R_i > D_i) is kUnschedulable — the
+///     synchronous release pattern realizes it;
+///   - a converging fixpoint claims kSchedulable only when every
+///     higher-priority spec is itself kSchedulable: an overrunning
+///     higher spec carries backlog into T_i's busy window, which the
+///     ceil(R/Pd) interference term does not cover, so the claim
+///     degrades to kUnknown instead.
+SchedAnalysis AnalyzeResponseTimes(const TransactionSet& set,
+                                   const BlockingAnalysis& blocking);
 
 }  // namespace pcpda
 

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "analysis/blocking.h"
+#include "analysis/response_time.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "lint/lint.h"
@@ -478,19 +480,65 @@ std::string Campaign::RenderBench(
     }
   }
 
+  // Analysis pass: regenerate each cell's workload from its seed (job
+  // inputs depend only on (spec, id), so this reproduces exactly what
+  // the workers simulated — the checkpoint codec stays untouched) and
+  // compute the static verdict per protocol. Generator-defect cells
+  // keep kUnknown for every protocol.
+  const std::int64_t num_cells = spec_.num_cells();
+  std::vector<std::vector<SchedVerdict>> analytic(
+      static_cast<std::size_t>(num_cells),
+      std::vector<SchedVerdict>(
+          static_cast<std::size_t>(spec_.num_protocols()),
+          SchedVerdict::kUnknown));
+  for (std::int64_t cell = 0; cell < num_cells; ++cell) {
+    const CampaignJob job = spec_.JobById(cell * spec_.num_protocols());
+    WorkloadParams params = spec_.workload;
+    params.total_utilization =
+        spec_.utilizations[static_cast<std::size_t>(job.util_index)];
+    Rng rng(job.scenario_seed);
+    const auto set = GenerateWorkload(params, rng);
+    if (!set.ok()) continue;
+    for (int p = 0; p < spec_.num_protocols(); ++p) {
+      const ProtocolKind kind =
+          spec_.protocols[static_cast<std::size_t>(p)];
+      analytic[static_cast<std::size_t>(cell)]
+              [static_cast<std::size_t>(p)] =
+          AnalyzeResponseTimes(set.value(),
+                               ComputeBlocking(set.value(), kind))
+              .verdict;
+    }
+  }
+
   // Acceptance table: protocol-major, then the utilization sweep. Every
   // row aggregates the `scenarios` runs of its (protocol, utilization)
   // column; failed/quarantined runs count against acceptance but their
-  // metrics are excluded (they are not trustworthy).
+  // metrics are excluded (they are not trustworthy). The analytic_*
+  // fields put the static acceptance curve next to the simulated one —
+  // analytic_ratio can only undershoot ratio on a sound analysis
+  // (schedulable claims are conservative, simulation is one witness).
   std::vector<std::string> rows;
   for (int p = 0; p < spec_.num_protocols(); ++p) {
     for (int u = 0; u < spec_.num_utils(); ++u) {
       std::int64_t accepted = 0, row_ok = 0, row_failed = 0;
       std::int64_t committed = 0, misses = 0, blocking = 0, restarts = 0,
                    deadlocks = 0;
+      std::int64_t sched = 0, unsched = 0, unknown = 0;
       for (int s = 0; s < spec_.scenarios; ++s) {
         const std::int64_t cell =
             static_cast<std::int64_t>(s) * spec_.num_utils() + u;
+        switch (analytic[static_cast<std::size_t>(cell)]
+                        [static_cast<std::size_t>(p)]) {
+          case SchedVerdict::kSchedulable:
+            ++sched;
+            break;
+          case SchedVerdict::kUnschedulable:
+            ++unsched;
+            break;
+          case SchedVerdict::kUnknown:
+            ++unknown;
+            break;
+        }
         const JobRecord& record = records[static_cast<std::size_t>(
             cell * spec_.num_protocols() + p)];
         if (record.outcome == "ok") {
@@ -512,6 +560,9 @@ std::string Campaign::RenderBench(
       rows.push_back(StrFormat(
           "    {\"protocol\": \"%s\", \"utilization\": %g, "
           "\"scenarios\": %d, \"accepted\": %lld, \"ratio\": %.6f, "
+          "\"analytic_schedulable\": %lld, "
+          "\"analytic_unschedulable\": %lld, "
+          "\"analytic_unknown\": %lld, \"analytic_ratio\": %.6f, "
           "\"failed\": %lld, \"committed\": %lld, \"misses\": %lld, "
           "\"blocking_ticks\": %lld, \"restarts\": %lld, "
           "\"deadlocks\": %lld}",
@@ -519,6 +570,10 @@ std::string Campaign::RenderBench(
           spec_.utilizations[static_cast<std::size_t>(u)],
           spec_.scenarios, static_cast<long long>(accepted),
           static_cast<double>(accepted) /
+              static_cast<double>(spec_.scenarios),
+          static_cast<long long>(sched), static_cast<long long>(unsched),
+          static_cast<long long>(unknown),
+          static_cast<double>(sched) /
               static_cast<double>(spec_.scenarios),
           static_cast<long long>(row_failed),
           static_cast<long long>(committed),

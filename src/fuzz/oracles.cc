@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "analysis/blocking.h"
+#include "analysis/response_time.h"
 #include "common/check.h"
 #include "common/strings.h"
 #include "history/replay_checker.h"
@@ -195,31 +196,67 @@ class OracleRunner {
                      "injected faults",
                      static_cast<long long>(metrics.TotalRestarts())));
     }
-    if (fault_free && ceiling) CheckBlockingBound(kind, metrics);
+    if (fault_free && TraitsOf(kind).analyzable()) {
+      CheckBlockingBound(kind, metrics);
+    }
+    if (fault_free) CheckSchedSoundness(kind, metrics);
     CheckMetricsSane(name, horizon, metrics);
   }
 
   void CheckBlockingBound(ProtocolKind kind, const RunMetrics& metrics) {
-    // Only the four ceiling protocols have a Section-9 analysis; for
-    // PCP-DA the guard ablation can only loosen behavior the other
-    // oracles see, so the bound stays meaningful under the test hook.
-    const auto analyzable = AnalyzableProtocolKinds();
-    bool found = false;
-    for (ProtocolKind a : analyzable) found = found || a == kind;
-    if (!found) return;
+    // Every protocol whose traits report a finite bound (all but
+    // 2PL-PI); for PCP-DA the guard ablation can only loosen behavior
+    // the other oracles see, so the bound stays meaningful under the
+    // test hook.
     const BlockingAnalysis analysis =
         ComputeBlocking(scenario_.set, kind);
+    const bool zeroed =
+        options_.analysis_defect == AnalysisDefect::kZeroBlockingBound;
     for (SpecId i = 0;
          i < static_cast<SpecId>(metrics.per_spec.size()); ++i) {
+      const Tick bound = zeroed ? 0 : analysis.B(i);
       const Tick observed =
           metrics.per_spec[static_cast<std::size_t>(i)]
               .max_effective_blocking;
-      if (observed > analysis.B(i)) {
+      if (observed > bound) {
         Fail("blocking-bound", ToString(kind),
-             StrFormat("%s blocked %lld ticks, Section-9 bound B=%lld",
+             StrFormat("%s blocked %lld ticks, analytical bound B=%lld",
                        scenario_.set.spec(i).name.c_str(),
                        static_cast<long long>(observed),
-                       static_cast<long long>(analysis.B(i))));
+                       static_cast<long long>(bound)));
+      }
+    }
+  }
+
+  /// A deadline miss in a fault-free simulation run refutes a
+  /// kSchedulable claim — the analysis must never be optimistic.
+  /// kUnknown/kUnschedulable claims assert nothing about the run.
+  void CheckSchedSoundness(ProtocolKind kind, const RunMetrics& metrics) {
+    BlockingAnalysis analysis = ComputeBlocking(scenario_.set, kind);
+    if (options_.analysis_defect == AnalysisDefect::kOptimisticRta) {
+      analysis.bounded = true;
+      for (SpecBlocking& sb : analysis.per_spec) {
+        sb.worst_blocking = 0;
+        sb.bounded = true;
+        sb.restart_sources.clear();
+      }
+    }
+    const SchedAnalysis sched =
+        AnalyzeResponseTimes(scenario_.set, analysis);
+    for (SpecId i = 0;
+         i < static_cast<SpecId>(metrics.per_spec.size()); ++i) {
+      const SpecSchedResult& sr =
+          sched.per_spec[static_cast<std::size_t>(i)];
+      if (sr.verdict != SchedVerdict::kSchedulable) continue;
+      const std::int64_t misses =
+          metrics.per_spec[static_cast<std::size_t>(i)].deadline_misses;
+      if (misses > 0) {
+        Fail("sched-sound", ToString(kind),
+             StrFormat("%s missed %lld deadline(s) but the analysis "
+                       "claimed R=%lld within the deadline",
+                       scenario_.set.spec(i).name.c_str(),
+                       static_cast<long long>(misses),
+                       static_cast<long long>(sr.response)));
       }
     }
   }

@@ -11,6 +11,19 @@
 
 namespace pcpda {
 
+/// Seeded defects for the analysis oracles, driven by `pcpda_fuzz
+/// --break=bound|rta`. Each weakens one analytical result so the
+/// corresponding oracle must fire on ordinary scenarios — the self-test
+/// that proves the oracle is alive.
+enum class AnalysisDefect : std::uint8_t {
+  kNone,
+  /// blocking-bound compares observed blocking against 0 instead of B_i.
+  kZeroBlockingBound,
+  /// sched-sound runs the RTA with B_i = 0 and no restart costs — the
+  /// classic optimistic analysis that ignores data contention.
+  kOptimisticRta,
+};
+
 /// Configuration for one oracle-stack evaluation of a scenario.
 struct OracleOptions {
   /// Simulation horizon; 0 falls back to the scenario's own horizon and
@@ -27,6 +40,9 @@ struct OracleOptions {
   /// simulation cost; the shrinker turns it off while minimizing a
   /// failure found by a cheaper oracle.
   bool check_determinism = true;
+  /// Deliberately weakened analysis for the --break= self-tests; part of
+  /// the options so shrinking and reproduction carry the defect along.
+  AnalysisDefect analysis_defect = AnalysisDefect::kNone;
 };
 
 /// One oracle violation. `oracle` is a stable identifier the shrinker
@@ -38,7 +54,10 @@ struct OracleOptions {
 ///   replay           serial-witness replay observed a mismatched read
 ///   deadlock-free    a ceiling protocol hit a wait-for cycle
 ///   no-restarts      a ceiling protocol restarted jobs in a fault-free run
-///   blocking-bound   fault-free per-job blocking exceeded Section-9 B_i
+///   blocking-bound   fault-free per-job blocking exceeded the analytical
+///                    B_i (every protocol with a finite bound)
+///   sched-sound      the response-time analysis claimed a spec
+///                    schedulable but a fault-free run missed a deadline
 ///   metrics-sane     counter bookkeeping inconsistent (ratios, totals)
 ///   released-equal   fault-free runs released different job counts
 ///                    across protocols
@@ -71,10 +90,11 @@ struct OracleVerdict {
 ///   (b) the committed history is conflict serializable and survives the
 ///       serial-witness replay;
 ///   (c) metamorphic bounds: ceiling protocols never deadlock, fault-free
-///       ceiling runs never restart and respect the Section-9 worst-case
-///       blocking bound, counters stay internally consistent, and
-///       fault-free runs release identical job counts under every
-///       protocol;
+///       ceiling runs never restart, fault-free runs respect the
+///       protocol's analytical worst-case blocking bound and never miss a
+///       deadline the response-time analysis claimed safe, counters stay
+///       internally consistent, and fault-free runs release identical job
+///       counts under every protocol;
 ///   (d) re-running the same configuration is bit-identical.
 /// All failures are collected (no early exit) so the caller can report
 /// every protocol the scenario broke.

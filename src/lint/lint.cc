@@ -466,22 +466,18 @@ class Linter {
     }
 
     for (ProtocolKind kind : options_.analysis_protocols) {
-      const std::vector<ProtocolKind> analyzable =
-          AnalyzableProtocolKinds();
-      if (std::find(analyzable.begin(), analyzable.end(), kind) ==
-          analyzable.end()) {
-        continue;
-      }
-      const std::vector<Tick> blocking =
-          ComputeBlocking(set, kind).AllB();
-      const auto response = ResponseTimeAnalysis(set, blocking);
-      const auto rm_bound = LiuLaylandTest(set, blocking);
-      if (!response.ok()) continue;
+      // ProtocolTraits::analyzable() is the single source of truth for
+      // "has a finite blocking bound" — lint, pcpda_analyze and the
+      // fuzzer oracle all gate on it.
+      if (!TraitsOf(kind).analyzable()) continue;
+      const BlockingAnalysis blocking = ComputeBlocking(set, kind);
+      const SchedAnalysis sched = AnalyzeResponseTimes(set, blocking);
+      const auto rm_bound = LiuLaylandTest(set, blocking.AllB());
       for (SpecId i = 0; i < set.size(); ++i) {
-        const auto& spec_result =
-            response->per_spec[static_cast<std::size_t>(i)];
+        const SpecSchedResult& spec_result =
+            sched.per_spec[static_cast<std::size_t>(i)];
         const std::string& name = set.spec(i).name;
-        if (!spec_result.schedulable) {
+        if (spec_result.verdict == SchedVerdict::kUnschedulable) {
           const Tick deadline = set.RelativeDeadline(i);
           std::string response_text =
               spec_result.response == kNoTick
@@ -495,10 +491,10 @@ class Linter {
                         "(B=%lld), past the deadline %lld",
                         name.c_str(), response_text.c_str(),
                         ToString(kind),
-                        static_cast<long long>(
-                            blocking[static_cast<std::size_t>(i)]),
+                        static_cast<long long>(blocking.B(i)),
                         static_cast<long long>(deadline)));
-        } else if (rm_bound.ok() &&
+        } else if (spec_result.verdict == SchedVerdict::kSchedulable &&
+                   rm_bound.ok() &&
                    !rm_bound->per_spec[static_cast<std::size_t>(i)]
                         .schedulable) {
           Add("rm-bound-inconclusive", LintSeverity::kNote,

@@ -48,8 +48,11 @@ std::vector<ProtocolKind> AllProtocolKinds() {
 }
 
 std::vector<ProtocolKind> AnalyzableProtocolKinds() {
-  return {ProtocolKind::kPcpDa, ProtocolKind::kRwPcp, ProtocolKind::kCcp,
-          ProtocolKind::kOpcp};
+  std::vector<ProtocolKind> kinds;
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    if (TraitsOf(kind).analyzable()) kinds.push_back(kind);
+  }
+  return kinds;
 }
 
 ProtocolTraits TraitsOf(ProtocolKind kind) {
@@ -60,35 +63,42 @@ ProtocolTraits TraitsOf(ProtocolKind kind) {
       traits.ceiling_rule = CeilingRule::kWriteOnRead;
       traits.priority_inheritance = true;
       traits.deadlock_free = true;
+      traits.blocking_bound = BlockingBoundKind::kCeiling;
       return traits;
     case ProtocolKind::kRwPcp:
       traits.ceiling_rule = CeilingRule::kReadWrite;
       traits.priority_inheritance = true;
       traits.deadlock_free = true;
+      traits.blocking_bound = BlockingBoundKind::kCeiling;
       return traits;
     case ProtocolKind::kCcp:
       traits.ceiling_rule = CeilingRule::kReadWrite;
       traits.priority_inheritance = true;
       traits.releases_early = true;
       traits.deadlock_free = true;
+      traits.blocking_bound = BlockingBoundKind::kCeiling;
       return traits;
     case ProtocolKind::kOpcp:
       traits.ceiling_rule = CeilingRule::kAbsolute;
       traits.priority_inheritance = true;
       traits.deadlock_free = true;
+      traits.blocking_bound = BlockingBoundKind::kCeiling;
       return traits;
     case ProtocolKind::kTwoPlPi:
       traits.priority_inheritance = true;
+      traits.blocking_bound = BlockingBoundKind::kUnbounded;
       return traits;
     case ProtocolKind::kTwoPlHp:
       traits.resolves_by_restart = true;
       traits.deadlock_free = true;
+      traits.blocking_bound = BlockingBoundKind::kPushThrough;
       return traits;
     case ProtocolKind::kOccBc:
     case ProtocolKind::kOccDa:
       traits.update_model = UpdateModel::kWorkspace;
       traits.resolves_by_restart = true;
       traits.deadlock_free = true;
+      traits.blocking_bound = BlockingBoundKind::kNone;
       return traits;
   }
   PCPDA_UNREACHABLE("bad ProtocolKind");

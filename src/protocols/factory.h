@@ -32,9 +32,32 @@ std::optional<ProtocolKind> ProtocolKindByName(const std::string& name);
 /// All protocol kinds, PCP-DA first.
 std::vector<ProtocolKind> AllProtocolKinds();
 
-/// The ceiling-based kinds with a Section-9 style worst-case blocking
-/// analysis (PCP-DA, RW-PCP, CCP, OPCP).
+/// The kinds whose ProtocolTraits report a finite worst-case blocking
+/// bound (everything but 2PL-PI). Derived from TraitsOf, so lint, the
+/// blocking analysis and the fuzzer's soundness oracles agree on
+/// analyzability by construction.
 std::vector<ProtocolKind> AnalyzableProtocolKinds();
+
+/// What kind of worst-case *effective-blocking* bound the analysis
+/// (src/analysis/blocking.cc) can compute for a protocol. Effective
+/// blocking is the paper's metric: ticks a job spends with a denied lock
+/// request while a lower-base-priority job occupies the CPU.
+enum class BlockingBoundKind : std::uint8_t {
+  /// Section-9 ceiling analysis: B_i = max over BTS_i (PCP-DA, RW-PCP,
+  /// CCP, OPCP).
+  kCeiling,
+  /// Push-through bound: a requester can wait behind a mixed holder set
+  /// that includes lower-priority riders; B_i sums the conflicting
+  /// lower-priority execution times (2PL-HP). Restart costs are modeled
+  /// separately in the response-time analysis.
+  kPushThrough,
+  /// The protocol never blocks a request, so B_i = 0; all contention
+  /// cost is restart cost (OCC-BC, OCC-DA).
+  kNone,
+  /// No finite bound exists: transitively chained blocking can stack an
+  /// unbounded number of lower-priority critical sections (2PL-PI).
+  kUnbounded,
+};
 
 /// Static facts about a protocol, available without instantiating it.
 /// The static analyzer (src/lint/) gates its rules on these; they mirror
@@ -54,6 +77,14 @@ struct ProtocolTraits {
   /// priority holder (wait edges cannot cycle); OCC because it never
   /// blocks. Only 2PL-PI can reach a genuine wait-for cycle.
   bool deadlock_free = false;
+  /// Which worst-case blocking analysis applies (see BlockingBoundKind).
+  /// kUnbounded kinds are excluded from AnalyzableProtocolKinds().
+  BlockingBoundKind blocking_bound = BlockingBoundKind::kUnbounded;
+
+  /// True when ComputeBlocking can produce a finite B_i for every spec.
+  bool analyzable() const {
+    return blocking_bound != BlockingBoundKind::kUnbounded;
+  }
 };
 
 /// The static trait table for `kind`.

@@ -1,0 +1,108 @@
+#!/bin/sh
+# Static-analyzer smoke test, run by ctest as `analysis-smoke`.
+#
+#   analysis_smoke.sh <pcpda_analyze binary> <scenario dir> <scratch dir>
+#
+# Four phases:
+#   a) every shipped scenario analyzes under every protocol (including
+#      unbounded 2PL-PI) with --deny=none and exit 0;
+#   b) JSON output parses structurally: balanced array framing plus the
+#      required keys on every row;
+#   c) the exit-code matrix: 2 for usage errors and missing files, 1 for
+#      a denied verdict, 0 for a passing file;
+#   d) a known-schedulable and a known-denied scenario land on the
+#      expected side of the --deny gate.
+
+BIN="$1"
+SCENARIOS="$2"
+WORK="$3"
+[ -n "$BIN" ] && [ -n "$SCENARIOS" ] && [ -n "$WORK" ] || {
+  echo "usage: $0 BIN SCENARIODIR WORKDIR"; exit 2; }
+
+fail() { echo "analysis-smoke: FAIL: $*"; exit 1; }
+
+rm -rf "$WORK" || fail "cannot clean $WORK"
+mkdir -p "$WORK" || fail "cannot create $WORK"
+
+# --- phase a: all scenarios, all protocols, nothing denied -------------
+"$BIN" --dir="$SCENARIOS" --protocols=all --deny=none \
+  > "$WORK/all.txt" 2>&1
+rc=$?
+[ $rc -eq 0 ] || fail "phase a: expected exit 0 with --deny=none, got $rc"
+grep -q "2PL-PI" "$WORK/all.txt" || \
+  fail "phase a: 2PL-PI missing from --protocols=all output"
+grep -q "B=unbounded" "$WORK/all.txt" || \
+  fail "phase a: no unbounded B reported for 2PL-PI"
+
+# --- phase b: JSON structure -------------------------------------------
+"$BIN" --dir="$SCENARIOS" --protocols=analyzable --deny=none \
+  --format=json > "$WORK/all.json" 2>&1
+rc=$?
+[ $rc -eq 0 ] || fail "phase b: json run exited $rc"
+head -c 1 "$WORK/all.json" | grep -q '\[' || \
+  fail "phase b: output is not a JSON array"
+tail -c 3 "$WORK/all.json" | grep -q '\]' || \
+  fail "phase b: JSON array is not closed"
+for key in '"file"' '"protocols"' '"protocol"' '"verdict"' '"specs"' \
+           '"B"' '"response"' '"bts"' '"restarts"'; do
+  grep -q "$key" "$WORK/all.json" || fail "phase b: missing key $key"
+done
+# Balanced braces/brackets: crude but catches truncated rendering.
+opens=$(tr -cd '{' < "$WORK/all.json" | wc -c)
+closes=$(tr -cd '}' < "$WORK/all.json" | wc -c)
+[ "$opens" -eq "$closes" ] || \
+  fail "phase b: unbalanced braces ($opens vs $closes)"
+
+# --- phase c: exit-code matrix -----------------------------------------
+"$BIN" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "phase c: no arguments should exit 2"
+"$BIN" --format=bogus x.scn > /dev/null 2>&1
+[ $? -eq 2 ] || fail "phase c: bad --format should exit 2"
+"$BIN" --protocols=NOPE x.scn > /dev/null 2>&1
+[ $? -eq 2 ] || fail "phase c: unknown protocol should exit 2"
+"$BIN" "$WORK/does-not-exist.scn" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "phase c: missing file should exit 2"
+
+# --- phase d: the deny gate discriminates ------------------------------
+cat > "$WORK/sched.scn" <<'EOF'
+scenario smoke_sched
+horizon 40
+txn A period=10
+  read x 1
+end
+txn B period=20
+  write x 1
+end
+EOF
+"$BIN" --protocols=PCP-DA "$WORK/sched.scn" > /dev/null 2>&1
+[ $? -eq 0 ] || fail "phase d: schedulable scenario was denied"
+
+cat > "$WORK/unsched.scn" <<'EOF'
+scenario smoke_unsched
+horizon 40
+txn A period=4
+  compute 3
+end
+txn B period=8
+  compute 4
+end
+EOF
+"$BIN" --protocols=PCP-DA "$WORK/unsched.scn" > /dev/null 2>&1
+[ $? -eq 1 ] || fail "phase d: overloaded scenario was not denied"
+# One-shot specs have no RTA model: unknown passes the default gate but
+# falls to --deny=unknown.
+cat > "$WORK/oneshot.scn" <<'EOF'
+scenario smoke_oneshot
+horizon 40
+txn A
+  read x 1
+end
+EOF
+"$BIN" --protocols=PCP-DA "$WORK/oneshot.scn" > /dev/null 2>&1
+[ $? -eq 0 ] || fail "phase d: unknown verdict tripped the default gate"
+"$BIN" --protocols=PCP-DA --deny=unknown "$WORK/oneshot.scn" \
+  > /dev/null 2>&1
+[ $? -eq 1 ] || fail "phase d: --deny=unknown did not deny a one-shot"
+
+echo "analysis-smoke: PASS"
+exit 0

@@ -8,6 +8,7 @@
 #include "analysis/response_time.h"
 #include "analysis/rm_bound.h"
 #include "workload/paper_examples.h"
+#include "workload/scenario.h"
 
 namespace pcpda {
 namespace {
@@ -469,6 +470,334 @@ TEST(ResponsePercentileTest, PopulatedBySimulator) {
   const auto& m = result.metrics.per_spec[0];
   EXPECT_EQ(m.responses.size(), 5u);
   EXPECT_EQ(m.ResponsePercentile(1.0), m.max_response);
+}
+
+// --- ProtocolTraits analyzability -----------------------------------------
+
+TEST(TraitsTest, AnalyzableDerivedFromBlockingBound) {
+  for (ProtocolKind kind : AllProtocolKinds()) {
+    const ProtocolTraits traits = TraitsOf(kind);
+    EXPECT_EQ(traits.analyzable(),
+              traits.blocking_bound != BlockingBoundKind::kUnbounded)
+        << ToString(kind);
+  }
+  // Exactly 2PL-PI lacks a finite bound.
+  const auto kinds = AnalyzableProtocolKinds();
+  EXPECT_EQ(kinds.size(), AllProtocolKinds().size() - 1);
+  for (ProtocolKind kind : kinds) {
+    EXPECT_NE(kind, ProtocolKind::kTwoPlPi);
+  }
+}
+
+// --- protocol-specific blocking terms --------------------------------------
+
+TEST(BlockingTest, TwoPlHpSumsConflictingLowerSpecs) {
+  // 2PL-HP riders: a lock wait can queue behind EVERY conflicting lower
+  // spec, so B sums their execution times (ceiling protocols take the
+  // max of one critical section instead).
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Write(0)}},
+      {.name = "M", .period = 20, .body = {Read(0), Compute(1)}},
+      {.name = "L", .period = 40, .body = {Write(0), Compute(3)}},
+  });
+  const auto hp = ComputeBlocking(set, ProtocolKind::kTwoPlHp);
+  EXPECT_EQ(hp.per_spec[0].bts, (std::vector<SpecId>{1, 2}));
+  EXPECT_EQ(hp.B(0), 2 + 4);
+  EXPECT_EQ(hp.B(1), 4);
+  EXPECT_EQ(hp.B(2), 0);
+  // Higher-priority conflicting specs abort instead of blocking: they
+  // become restart sources, one abort per conflicting lock request.
+  ASSERT_EQ(hp.per_spec[1].restart_sources.size(), 1u);
+  EXPECT_EQ(hp.per_spec[1].restart_sources[0].spec, 0);
+  EXPECT_EQ(hp.per_spec[1].restart_sources[0].per_release, 1);
+  ASSERT_EQ(hp.per_spec[2].restart_sources.size(), 2u);
+  EXPECT_EQ(hp.per_spec[2].restart_sources[0].spec, 0);
+  EXPECT_EQ(hp.per_spec[2].restart_sources[1].spec, 1);
+}
+
+TEST(BlockingTest, OccNeverBlocksOnlyRestarts) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Write(0)}},
+      {.name = "M", .period = 20, .body = {Read(0), Compute(1)}},
+      {.name = "L", .period = 40, .body = {Read(1), Compute(1)}},
+  });
+  for (ProtocolKind kind :
+       {ProtocolKind::kOccBc, ProtocolKind::kOccDa}) {
+    const auto occ = ComputeBlocking(set, kind);
+    EXPECT_EQ(occ.AllB(), (std::vector<Tick>{0, 0, 0})) << ToString(kind);
+    // Only M reads what H writes; L's read set is disjoint.
+    EXPECT_TRUE(occ.per_spec[0].restart_sources.empty());
+    ASSERT_EQ(occ.per_spec[1].restart_sources.size(), 1u);
+    EXPECT_EQ(occ.per_spec[1].restart_sources[0].spec, 0);
+    EXPECT_EQ(occ.per_spec[1].restart_sources[0].per_release, 1);
+    EXPECT_TRUE(occ.per_spec[2].restart_sources.empty());
+  }
+}
+
+TEST(BlockingTest, TwoPlPiUnboundedOnlyWhenConflicting) {
+  TransactionSet set = MakeSet({
+      {.name = "A", .period = 10, .body = {Write(0)}},
+      {.name = "B", .period = 20, .body = {Read(0)}},
+      {.name = "C", .period = 40, .body = {Read(1)}},
+  });
+  const auto pi = ComputeBlocking(set, ProtocolKind::kTwoPlPi);
+  EXPECT_FALSE(pi.bounded);
+  EXPECT_FALSE(pi.per_spec[0].bounded);
+  EXPECT_FALSE(pi.per_spec[1].bounded);
+  // C touches only d1, which nobody writes: no chained blocking.
+  EXPECT_TRUE(pi.per_spec[2].bounded);
+  EXPECT_EQ(pi.ForSpec(2).worst_blocking, 0);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(BlockingDeathTest, UnboundedBRefusesToAnswer) {
+  TransactionSet set = MakeSet({
+      {.name = "A", .period = 10, .body = {Write(0)}},
+      {.name = "B", .period = 20, .body = {Read(0)}},
+  });
+  const auto pi = ComputeBlocking(set, ProtocolKind::kTwoPlPi);
+  EXPECT_DEATH(pi.B(0), "no finite blocking bound");
+}
+
+TEST(BlockingDeathTest, OutOfRangeSpecIdRefused) {
+  TransactionSet set = MakeSet({
+      {.name = "A", .period = 10, .body = {Write(0)}},
+  });
+  const auto analysis = ComputeBlocking(set, ProtocolKind::kPcpDa);
+  EXPECT_DEATH(analysis.ForSpec(1), "out of range");
+  EXPECT_DEATH(analysis.B(-1), "out of range");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
+// --- AnalyzeResponseTimes: verdicts ----------------------------------------
+
+TEST(SchedAnalysisTest, SchedulableWithCeilingBlocking) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Read(0)}},
+      {.name = "L", .period = 20, .body = {Write(0), Compute(2)}},
+  });
+  const auto sched = AnalyzeResponseTimes(
+      set, ComputeBlocking(set, ProtocolKind::kRwPcp));
+  // R_H = C_H + B_H = 1 + 3; R_L = 3 + ceil(4/10) * 1.
+  EXPECT_EQ(sched.per_spec[0].verdict, SchedVerdict::kSchedulable);
+  EXPECT_EQ(sched.per_spec[0].response, 4);
+  EXPECT_EQ(sched.per_spec[1].verdict, SchedVerdict::kSchedulable);
+  EXPECT_EQ(sched.per_spec[1].response, 4);
+  EXPECT_EQ(sched.verdict, SchedVerdict::kSchedulable);
+}
+
+TEST(SchedAnalysisTest, OverloadIsUnschedulable) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 4, .body = {Compute(3)}},
+      {.name = "L", .period = 8, .body = {Compute(4)}},
+  });
+  const auto sched = AnalyzeResponseTimes(
+      set, ComputeBlocking(set, ProtocolKind::kPcpDa));
+  EXPECT_EQ(sched.per_spec[0].verdict, SchedVerdict::kSchedulable);
+  EXPECT_EQ(sched.per_spec[1].verdict, SchedVerdict::kUnschedulable);
+  EXPECT_EQ(sched.per_spec[1].response, kNoTick);
+  EXPECT_EQ(sched.verdict, SchedVerdict::kUnschedulable);
+}
+
+TEST(SchedAnalysisTest, OneShotSetIsUnknown) {
+  TransactionSet set = MakeSet({
+      {.name = "A", .body = {Read(0)}},
+      {.name = "B", .period = 10, .body = {Write(0)}},
+  });
+  const auto sched = AnalyzeResponseTimes(
+      set, ComputeBlocking(set, ProtocolKind::kPcpDa));
+  EXPECT_EQ(sched.per_spec[0].verdict, SchedVerdict::kUnknown);
+  EXPECT_EQ(sched.per_spec[1].verdict, SchedVerdict::kUnknown);
+  EXPECT_EQ(sched.verdict, SchedVerdict::kUnknown);
+}
+
+TEST(SchedAnalysisTest, UnboundedSpecAndEverythingBelowIsUnknown) {
+  TransactionSet set = MakeSet({
+      {.name = "A", .period = 10, .body = {Write(0)}},
+      {.name = "B", .period = 20, .body = {Read(0)}},
+      {.name = "C", .period = 40, .body = {Read(1)}},
+  });
+  const auto sched = AnalyzeResponseTimes(
+      set, ComputeBlocking(set, ProtocolKind::kTwoPlPi));
+  EXPECT_EQ(sched.per_spec[0].verdict, SchedVerdict::kUnknown);
+  EXPECT_EQ(sched.per_spec[1].verdict, SchedVerdict::kUnknown);
+  // C is bounded and its fixpoint converges, but the unbounded specs
+  // above it could overrun arbitrarily — no sound claim exists.
+  EXPECT_EQ(sched.per_spec[2].verdict, SchedVerdict::kUnknown);
+  EXPECT_EQ(sched.verdict, SchedVerdict::kUnknown);
+}
+
+TEST(SchedAnalysisTest, UnschedulableHigherSpecDegradesLowerClaim) {
+  TransactionSet set = MakeSet({
+      {.name = "H",
+       .period = 10,
+       .relative_deadline = 2,
+       .body = {Compute(3)}},
+      {.name = "L", .period = 10, .body = {Compute(1)}},
+  });
+  const auto sched = AnalyzeResponseTimes(
+      set, ComputeBlocking(set, ProtocolKind::kPcpDa));
+  EXPECT_EQ(sched.per_spec[0].verdict, SchedVerdict::kUnschedulable);
+  // L's fixpoint converges (R = 4 <= 10) but H's overrun carries backlog
+  // the interference term does not model: claim degrades to unknown.
+  EXPECT_EQ(sched.per_spec[1].verdict, SchedVerdict::kUnknown);
+  EXPECT_EQ(sched.per_spec[1].response, 4);
+  EXPECT_EQ(sched.verdict, SchedVerdict::kUnschedulable);
+}
+
+TEST(SchedAnalysisTest, RestartCostInflatesResponse) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Write(0)}},
+      {.name = "L", .period = 30, .body = {Read(0), Compute(1)}},
+  });
+  const auto occ = ComputeBlocking(set, ProtocolKind::kOccBc);
+  ASSERT_EQ(occ.per_spec[1].restart_sources.size(), 1u);
+  const auto sched = AnalyzeResponseTimes(set, occ);
+  // R_L = C_L + ceil(R/10) C_H + (ceil(R/10) + 1) * 1 * C_L
+  //     = 2 + 1 + 2*2 = 7 at the fixpoint — well above the
+  // restart-free R = 3.
+  EXPECT_EQ(sched.per_spec[1].verdict, SchedVerdict::kSchedulable);
+  EXPECT_EQ(sched.per_spec[1].response, 7);
+}
+
+// --- shipped-scenario goldens (hand-computed Section-9 numbers) ------------
+
+std::string ScenarioPath(const char* name) {
+  return std::string(PCPDA_SOURCE_DIR) + "/scenarios/" + name;
+}
+
+TEST(ScenarioGoldenTest, Example1BlockingNumbers) {
+  // T1 reads x, C=2; T2 reads y, C=2; T3 writes x then computes, C=3.
+  const auto scenario = LoadScenarioFile(ScenarioPath("example1.scn"));
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  const TransactionSet& set = scenario->set;
+  EXPECT_EQ(ComputeBlocking(set, ProtocolKind::kPcpDa).AllB(),
+            (std::vector<Tick>{0, 0, 0}));
+  EXPECT_EQ(ComputeBlocking(set, ProtocolKind::kRwPcp).AllB(),
+            (std::vector<Tick>{3, 3, 0}));
+  EXPECT_EQ(ComputeBlocking(set, ProtocolKind::kOpcp).AllB(),
+            (std::vector<Tick>{3, 3, 0}));
+  // CCP: T3's write of x is released after its holding window (1 tick),
+  // not at commit.
+  EXPECT_EQ(ComputeBlocking(set, ProtocolKind::kCcp).AllB(),
+            (std::vector<Tick>{1, 1, 0}));
+  const auto hp = ComputeBlocking(set, ProtocolKind::kTwoPlHp);
+  EXPECT_EQ(hp.AllB(), (std::vector<Tick>{3, 0, 0}));
+  ASSERT_EQ(hp.ForSpec(2).restart_sources.size(), 1u);
+  EXPECT_EQ(hp.ForSpec(2).restart_sources[0].spec, 0);
+  EXPECT_EQ(hp.ForSpec(2).restart_sources[0].per_release, 1);
+  EXPECT_EQ(ComputeBlocking(set, ProtocolKind::kOccBc).AllB(),
+            (std::vector<Tick>{0, 0, 0}));
+  // One-shot transactions: no RTA model, every verdict unknown.
+  const auto sched = AnalyzeResponseTimes(
+      set, ComputeBlocking(set, ProtocolKind::kPcpDa));
+  EXPECT_EQ(sched.verdict, SchedVerdict::kUnknown);
+}
+
+TEST(ScenarioGoldenTest, Example3BlockingNumbers) {
+  // T1 (period 5) reads x and y, C=2; T2 one-shot writes x then y with
+  // computes in between, C=5.
+  const auto scenario = LoadScenarioFile(ScenarioPath("example3.scn"));
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  const TransactionSet& set = scenario->set;
+  EXPECT_EQ(ComputeBlocking(set, ProtocolKind::kPcpDa).AllB(),
+            (std::vector<Tick>{0, 0}));
+  EXPECT_EQ(ComputeBlocking(set, ProtocolKind::kRwPcp).AllB(),
+            (std::vector<Tick>{5, 0}));
+  EXPECT_EQ(ComputeBlocking(set, ProtocolKind::kOpcp).AllB(),
+            (std::vector<Tick>{5, 0}));
+  // CCP: T2's last acquisition is the write of y ending at offset 4, so
+  // both writes stay held over the window [0, 4).
+  EXPECT_EQ(ComputeBlocking(set, ProtocolKind::kCcp).AllB(),
+            (std::vector<Tick>{4, 0}));
+  const auto hp = ComputeBlocking(set, ProtocolKind::kTwoPlHp);
+  EXPECT_EQ(hp.AllB(), (std::vector<Tick>{5, 0}));
+  // T1's two reads both land on items T2 writes: two aborts per release.
+  ASSERT_EQ(hp.ForSpec(1).restart_sources.size(), 1u);
+  EXPECT_EQ(hp.ForSpec(1).restart_sources[0].spec, 0);
+  EXPECT_EQ(hp.ForSpec(1).restart_sources[0].per_release, 2);
+  // Mixed periodic/one-shot: still no RTA model.
+  const auto sched = AnalyzeResponseTimes(
+      set, ComputeBlocking(set, ProtocolKind::kRwPcp));
+  EXPECT_EQ(sched.verdict, SchedVerdict::kUnknown);
+}
+
+// --- AnalyzeSet / renderers ------------------------------------------------
+
+TEST(ReportTest, AnalyzeSetCoversRequestedProtocols) {
+  TransactionSet set = MakeSet({
+      {.name = "H", .period = 10, .body = {Read(0)}},
+      {.name = "L", .period = 20, .body = {Write(0), Compute(2)}},
+  });
+  const AnalysisReport report = AnalyzeSet(
+      set, {ProtocolKind::kRwPcp, ProtocolKind::kTwoPlPi});
+  ASSERT_EQ(report.per_protocol.size(), 2u);
+  EXPECT_EQ(report.per_protocol[0].sched.verdict,
+            SchedVerdict::kSchedulable);
+  EXPECT_FALSE(report.per_protocol[1].blocking.bounded);
+  EXPECT_EQ(report.per_protocol[1].sched.verdict, SchedVerdict::kUnknown);
+  EXPECT_TRUE(report.AnyVerdict(SchedVerdict::kSchedulable));
+  EXPECT_TRUE(report.AnyVerdict(SchedVerdict::kUnknown));
+  EXPECT_FALSE(report.AnyVerdict(SchedVerdict::kUnschedulable));
+
+  const std::string json = RenderAnalysisJson("x.scn", set, report);
+  for (const char* key :
+       {"\"file\"", "\"protocols\"", "\"verdict\"", "\"specs\"", "\"B\"",
+        "\"response\"", "\"bts\"", "\"restarts\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // 2PL-PI's unbounded B renders as null, not a number.
+  EXPECT_NE(json.find("\"B\": null"), std::string::npos);
+}
+
+// --- generated sweep: simulation never exceeds the analytical bound --------
+
+TEST(AnalysisSweepTest, ObservedBlockingWithinBoundOnThousandScenarios) {
+  // 1000 seeded workloads x every protocol with a finite bound: the
+  // worst observed per-instance effective blocking must stay within the
+  // analytical B_i. Small periods + a tight item pool keep contention
+  // high and the horizon cheap.
+  WorkloadParams params;
+  params.num_transactions = 5;
+  params.num_items = 6;
+  params.min_period = 10;
+  params.max_period = 40;
+  params.min_ops = 2;
+  params.max_ops = 4;
+  params.write_fraction = 0.5;
+  const double utils[] = {0.3, 0.5, 0.7, 0.9};
+  const Tick horizon = 120;
+  int generated = 0;
+  for (int s = 0; s < 1000; ++s) {
+    params.total_utilization = utils[s % 4];
+    Rng rng(SplitMixSeed(0xb10c, static_cast<std::uint64_t>(s)));
+    const auto set = GenerateWorkload(params, rng);
+    if (!set.ok()) continue;
+    ++generated;
+    for (ProtocolKind kind : AnalyzableProtocolKinds()) {
+      const BlockingAnalysis analysis = ComputeBlocking(*set, kind);
+      auto protocol = MakeProtocol(kind);
+      SimulatorOptions options;
+      options.horizon = horizon;
+      options.deadlock_policy = DeadlockPolicy::kAbortLowestPriority;
+      options.record_trace = false;
+      options.record_history = false;
+      Simulator sim(&set.value(), protocol.get(), options);
+      const SimResult result = sim.Run();
+      ASSERT_TRUE(result.status.ok())
+          << ToString(kind) << " seed " << s << ": "
+          << result.status.ToString();
+      for (SpecId i = 0; i < set->size(); ++i) {
+        EXPECT_LE(result.metrics.per_spec[static_cast<std::size_t>(i)]
+                      .max_effective_blocking,
+                  analysis.B(i))
+            << ToString(kind) << " seed " << s << " spec "
+            << set->spec(i).name;
+      }
+    }
+  }
+  // The generator must not silently reject the sweep's parameters.
+  EXPECT_GE(generated, 900);
 }
 
 }  // namespace

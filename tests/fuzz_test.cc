@@ -185,6 +185,58 @@ TEST(FuzzerTest, BrokenTstarGuardCaughtAndShrunk) {
   EXPECT_TRUE(correct.ok()) << correct.DebugString();
 }
 
+// Zeroing the analytical B_i (the --break=bound defect) must trip the
+// blocking-bound oracle: any ceiling/push-through wait in the sim now
+// exceeds the (fake) bound of 0.
+TEST(FuzzerTest, ZeroedBlockingBoundCaughtAndShrunk) {
+  FuzzOptions options = SmokeOptions();
+  options.oracles.analysis_defect = AnalysisDefect::kZeroBlockingBound;
+  options.max_findings = 1;
+  ScenarioFuzzer fuzzer(options);
+  const FuzzReport report = fuzzer.Run();
+  ASSERT_FALSE(report.findings.empty())
+      << "blocking-bound oracle missed the zeroed analytical bound";
+
+  const FuzzFinding& finding = report.findings.front();
+  EXPECT_EQ(finding.failure.oracle, "blocking-bound");
+  EXPECT_TRUE(finding.shrunk) << "finding did not survive shrinking";
+
+  const auto minimal = ParseScenario(finding.minimal_text);
+  ASSERT_TRUE(minimal.ok()) << minimal.status().ToString();
+  EXPECT_TRUE(Reproduces(*minimal, options.oracles, finding.failure))
+      << finding.minimal_text;
+
+  // With the real bounds restored the same scenario is clean.
+  const OracleVerdict correct = RunOracles(*minimal, OracleOptions{});
+  EXPECT_TRUE(correct.ok()) << correct.DebugString();
+}
+
+// Forcing the RTA to ignore blocking and restarts (the --break=rta
+// defect) makes it claim "schedulable" for overloaded sets; the
+// sched-sound oracle must catch the sim's deadline miss contradicting
+// that claim.
+TEST(FuzzerTest, OptimisticRtaCaughtAndShrunk) {
+  FuzzOptions options = SmokeOptions();
+  options.oracles.analysis_defect = AnalysisDefect::kOptimisticRta;
+  options.max_findings = 1;
+  ScenarioFuzzer fuzzer(options);
+  const FuzzReport report = fuzzer.Run();
+  ASSERT_FALSE(report.findings.empty())
+      << "sched-sound oracle missed the optimistic response-time analysis";
+
+  const FuzzFinding& finding = report.findings.front();
+  EXPECT_EQ(finding.failure.oracle, "sched-sound");
+  EXPECT_TRUE(finding.shrunk) << "finding did not survive shrinking";
+
+  const auto minimal = ParseScenario(finding.minimal_text);
+  ASSERT_TRUE(minimal.ok()) << minimal.status().ToString();
+  EXPECT_TRUE(Reproduces(*minimal, options.oracles, finding.failure))
+      << finding.minimal_text;
+
+  const OracleVerdict correct = RunOracles(*minimal, OracleOptions{});
+  EXPECT_TRUE(correct.ok()) << correct.DebugString();
+}
+
 // --- Shrinker --------------------------------------------------------------
 
 TEST(ShrinkerTest, UnreproducibleFailureReportedUnshrunk) {
